@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures fuzz examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... ./cmd/...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Regenerates every table and figure of the paper (TSVs land in results/).
+figures:
+	$(GO) run ./cmd/figures -all -scale full -out results
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test ./internal/wire -run Fuzz -fuzz=FuzzDecode -fuzztime=30s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/newsfeed
+	$(GO) run ./examples/disconnect
+	$(GO) run ./examples/multiserver
+	$(GO) run ./examples/hierarchy
+	$(GO) run ./examples/webcache
+
+loadtest:
+	$(GO) run ./cmd/leasebench -clients 32 -duration 5s
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,216 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation (Section 5) and writes the data series as TSV files plus a
+// summary to stdout.
+//
+// Usage:
+//
+//	figures [-fig N | -all] [-out dir] [-scale small|full]
+//
+//	figures -all -out results/      # everything the paper reports
+//	figures -fig 5                  # just Figure 5's series
+//	figures -table1                 # Table 1's analytic cost model
+//	figures -callouts               # Section 5.1's headline percentages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.Int("fig", 0, "figure number to regenerate (5-9)")
+	all := flag.Bool("all", false, "regenerate every figure and table")
+	table1 := flag.Bool("table1", false, "print Table 1's analytic model")
+	callouts := flag.Bool("callouts", false, "print Section 5.1's headline comparisons")
+	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation sweeps (d, t_v, locality)")
+	outDir := flag.String("out", ".", "directory for TSV output")
+	scaleName := flag.String("scale", "small", "workload scale: small or full")
+	flag.Parse()
+
+	scale := bench.ScaleSmall
+	if *scaleName == "full" {
+		scale = bench.ScaleFull
+	} else if *scaleName != "small" {
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	if !*all && *fig == 0 && !*table1 && !*callouts && !*ablations {
+		*all = true
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	if *table1 || *all {
+		if err := printTable1(); err != nil {
+			return err
+		}
+	}
+	if *callouts || *all {
+		if err := printCallouts(scale); err != nil {
+			return err
+		}
+	}
+	figs := []int{}
+	if *fig != 0 {
+		figs = append(figs, *fig)
+	}
+	if *all {
+		figs = []int{5, 6, 7, 8, 9}
+	}
+	for _, f := range figs {
+		if err := emitFigure(f, scale, *outDir); err != nil {
+			return err
+		}
+	}
+	if *ablations || *all {
+		printAblations(scale)
+	}
+	return nil
+}
+
+func printAblations(scale bench.Scale) {
+	w := bench.DefaultWorkload(scale)
+
+	fmt.Println("== Ablation: Delay discard time d (tv=10, t=1e6) ==")
+	fmt.Println("   (the trade-off the paper describes but does not quantify)")
+	for _, p := range bench.DSweep(w, 10, 1e6, bench.DefaultDSweep) {
+		d := fmt.Sprintf("%gs", p.D)
+		if p.D > 1e17 {
+			d = "inf"
+		}
+		fmt.Printf("   d=%-8s msgs=%-9d avg-state=%-8.0fB reconnections=%d"+"\n",
+			d, p.Messages, p.AvgStateBytes, p.Reconnects)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation: volume lease length tv (t=1e6) ==")
+	fmt.Println("   (message overhead vs the min(t,tv) write-delay bound; Lease = tv->inf)")
+	for _, p := range bench.TVSweep(w, 1e6, bench.DefaultTVSweep) {
+		tv := fmt.Sprintf("%gs", p.TV)
+		if p.TV > 1e17 {
+			tv = "inf (Lease)"
+		}
+		fmt.Printf("   tv=%-12s msgs=%-9d volume-renewals=%d"+"\n", tv, p.Messages, p.VolumeRenewals)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation: volume grouping (the paper's future work) ==")
+	fmt.Println("   (Volume(10,1e6) with each server fragmented into n hash volumes)")
+	for _, p := range bench.GroupingSweep(w, 10, 1e6, bench.DefaultGroupingSweep) {
+		fmt.Printf("   volumes/server=%-3d msgs=%-9d volume-renewals=%d"+"\n",
+			p.VolumesPerServer, p.Messages, p.VolumeRenewals)
+	}
+	fmt.Println()
+
+	fmt.Println("== Ablation: per-view spatial locality ==")
+	fmt.Println("   (Volume(10,1e6) saving over Lease(10) as page views touch more objects)")
+	for _, p := range bench.LocalitySweep(bench.DefaultLocalitySweep) {
+		fmt.Printf("   objects/view=%-5.1f lease=%-9d volume=%-9d saving=%5.1f%%"+"\n",
+			p.ObjectsPerView, p.LeaseMsgs, p.VolumeMsgs, p.Saving*100)
+	}
+	fmt.Println()
+}
+
+func printTable1() error {
+	fmt.Println("== Table 1: per-object consistency costs (example parameters) ==")
+	fmt.Println("   R=0.01/s (one read per 100s), Ro=0.1/s volume-wide, t=100000s, tv=100s,")
+	fmt.Println("   Ctot=50 clients with copies, Co=20 valid object leases, Cv=5 valid volume leases")
+	rows := bench.Table1(bench.ModelParams{
+		R: 0.01, Ro: 0.1, T: 100000, TV: 100, Ctot: 50, Co: 20, Cv: 5,
+	})
+	if err := bench.WriteTable1(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func printCallouts(scale bench.Scale) error {
+	w := bench.DefaultWorkload(scale)
+	fmt.Println("== Figure 5 callouts: best messages at a fixed write-delay bound ==")
+	fmt.Println("   (paper: Volume -32%/-30%, Delay -39%/-40% at 10s/100s bounds)")
+	for _, bound := range []float64{10, 100} {
+		for _, c := range bench.Callouts(w, bound, bench.DefaultTimeouts) {
+			fmt.Printf("   %-36s best=%-24s %8d vs %8d msgs  saving %5.1f%%\n",
+				c.Name, c.Best, c.BestMsgs, c.BaselineMsgs, c.Saving*100)
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func emitFigure(f int, scale bench.Scale, outDir string) error {
+	var (
+		series []bench.Series
+		extra  *bench.Series
+		desc   string
+	)
+	switch f {
+	case 5:
+		s, stale := bench.Fig5(bench.DefaultWorkload(scale), bench.DefaultTimeouts)
+		series, extra = s, &stale
+		desc = "messages vs object timeout"
+	case 6:
+		series = bench.FigState(bench.DefaultWorkload(scale), bench.DefaultTimeouts, 0)
+		desc = "avg state (bytes) at most popular server vs timeout"
+	case 7:
+		series = bench.FigState(bench.DefaultWorkload(scale), bench.DefaultTimeouts, 9)
+		desc = "avg state (bytes) at 10th most popular server vs timeout"
+	case 8:
+		series = bench.FigLoad(bench.DefaultWorkload(scale))
+		desc = "cumulative 1s-period load histogram, default writes"
+	case 9:
+		series = bench.FigLoad(bench.BurstyWorkload(scale))
+		desc = "cumulative 1s-period load histogram, bursty writes"
+	default:
+		return fmt.Errorf("unknown figure %d (have 5-9)", f)
+	}
+
+	path := filepath.Join(outDir, fmt.Sprintf("fig%d.tsv", f))
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := bench.WriteTSV(out, series); err != nil {
+		return err
+	}
+	if extra != nil {
+		if err := bench.WriteTSV(out, []bench.Series{*extra}); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("== Figure %d: %s -> %s ==\n", f, desc, path)
+	for _, s := range series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		fmt.Printf("   %-22s", s.Label)
+		for i := range s.Y {
+			fmt.Printf(" %10.0f", s.Y[i])
+		}
+		fmt.Println()
+	}
+	if extra != nil && len(extra.Y) > 0 {
+		fmt.Printf("   %-22s", extra.Label)
+		for _, v := range extra.Y {
+			fmt.Printf(" %10.4f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}

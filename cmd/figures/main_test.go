@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestEmitFigureWritesTSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	// Figure 6 (state) on the small workload is the cheapest full figure.
+	if err := emitFigure(6, bench.ScaleSmall, dir); err != nil {
+		t.Fatalf("emitFigure: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig6.tsv"))
+	if err != nil {
+		t.Fatalf("TSV not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < len(bench.Fig5Families())*len(bench.DefaultTimeouts) {
+		t.Errorf("TSV has %d rows, want >= %d", len(lines),
+			len(bench.Fig5Families())*len(bench.DefaultTimeouts))
+	}
+	for i, line := range lines {
+		if len(strings.Split(line, "\t")) != 3 {
+			t.Fatalf("row %d malformed: %q", i, line)
+		}
+	}
+}
+
+func TestEmitFigureUnknownNumber(t *testing.T) {
+	if err := emitFigure(3, bench.ScaleSmall, t.TempDir()); err == nil {
+		t.Fatal("figure 3 accepted")
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	if err := printTable1(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Command leasebench load-tests the live volume-lease stack: it spins up a
+// server (in-process, or targets an external leased via -addr), drives it
+// with a fleet of concurrent clients mixing cached reads, lease renewals,
+// and writes, and reports throughput plus latency quantiles per operation
+// class — the live-system counterpart of the trace-driven simulator.
+//
+// Usage:
+//
+//	leasebench                                    # self-contained, defaults
+//	leasebench -clients 50 -duration 10s -write-ratio 0.05
+//	leasebench -addr 127.0.0.1:7400 -volume site  # against a running leased
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leasebench:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects the benchmark parameters.
+type options struct {
+	addr       string
+	volume     string
+	clients    int
+	objects    int
+	duration   time.Duration
+	writeRatio float64
+	objLease   time.Duration
+	volLease   time.Duration
+	useTCP     bool
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("leasebench", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.addr, "addr", "", "target an external server (default: self-contained in-process server)")
+	fs.StringVar(&o.volume, "volume", "bench", "volume id")
+	fs.IntVar(&o.clients, "clients", 16, "concurrent clients")
+	fs.IntVar(&o.objects, "objects", 64, "objects in the volume (self-contained mode)")
+	fs.DurationVar(&o.duration, "duration", 3*time.Second, "benchmark duration")
+	fs.Float64Var(&o.writeRatio, "write-ratio", 0.02, "fraction of operations that are writes")
+	fs.DurationVar(&o.objLease, "object-lease", time.Minute, "object lease (self-contained mode)")
+	fs.DurationVar(&o.volLease, "volume-lease", 5*time.Second, "volume lease (self-contained mode)")
+	fs.BoolVar(&o.useTCP, "tcp", false, "self-contained mode: use loopback TCP instead of the in-memory transport")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.clients <= 0 || o.objects <= 0 || o.duration <= 0 {
+		return o, fmt.Errorf("clients, objects, and duration must be positive")
+	}
+	if o.writeRatio < 0 || o.writeRatio > 1 {
+		return o, fmt.Errorf("write-ratio must be in [0,1]")
+	}
+	return o, nil
+}
+
+func run(out *os.File, args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	res, err := execute(o)
+	if err != nil {
+		return err
+	}
+	return res.report(out, o)
+}
+
+// result aggregates the measurement.
+type result struct {
+	reads, writes, errors atomic.Int64
+	readLat               *metrics.LatencyHistogram
+	writeLat              *metrics.LatencyHistogram
+	elapsed               time.Duration
+	serverStats           *core.Stats // nil when targeting an external server
+	localReads            int64
+	serverReads           int64
+	invalidations         int64
+}
+
+// execute runs the load.
+func execute(o options) (*result, error) {
+	var (
+		net  transport.Network
+		addr = o.addr
+	)
+	var srv *server.Server
+	if addr == "" {
+		// Self-contained: build the server here.
+		if o.useTCP {
+			net = transport.TCP{}
+			addr = "127.0.0.1:0"
+		} else {
+			mem := transport.NewMemory()
+			net = mem
+			addr = "bench-origin:1"
+		}
+		var err error
+		srv, err = server.New(server.Config{
+			Name: "bench-origin",
+			Addr: addr,
+			Net:  net,
+			Table: core.Config{
+				ObjectLease: o.objLease,
+				VolumeLease: o.volLease,
+				Mode:        core.ModeEager,
+			},
+			MsgTimeout: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		addr = srv.Addr()
+		if err := srv.AddVolume(core.VolumeID(o.volume)); err != nil {
+			return nil, err
+		}
+		payload := make([]byte, 2048)
+		for i := 0; i < o.objects; i++ {
+			oid := core.ObjectID(fmt.Sprintf("obj-%d", i))
+			if err := srv.AddObject(core.VolumeID(o.volume), oid, payload); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		net = transport.TCP{}
+	}
+
+	res := &result{
+		readLat:  metrics.NewLatencyHistogram(),
+		writeLat: metrics.NewLatencyHistogram(),
+	}
+
+	clients := make([]*client.Client, o.clients)
+	for i := range clients {
+		cl, err := client.Dial(net, addr, client.Config{
+			ID:      core.ClientID(fmt.Sprintf("bench-%d", i)),
+			Timeout: 10 * time.Second,
+			Redial:  true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("dial client %d: %w", i, err)
+		}
+		defer cl.Close()
+		clients[i] = cl
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(cl *client.Client, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			payload := make([]byte, 2048)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				oid := core.ObjectID(fmt.Sprintf("obj-%d", rng.Intn(o.objects)))
+				t0 := time.Now()
+				if rng.Float64() < o.writeRatio {
+					if _, _, err := cl.Write(oid, payload); err != nil {
+						res.errors.Add(1)
+						continue
+					}
+					res.writeLat.Observe(time.Since(t0))
+					res.writes.Add(1)
+				} else {
+					if _, err := cl.Read(core.VolumeID(o.volume), oid); err != nil {
+						res.errors.Add(1)
+						continue
+					}
+					res.readLat.Observe(time.Since(t0))
+					res.reads.Add(1)
+				}
+			}
+		}(cl, int64(i)+1)
+	}
+	time.Sleep(o.duration)
+	close(stop)
+	wg.Wait()
+	res.elapsed = time.Since(start)
+
+	for _, cl := range clients {
+		l, s, inv := cl.Stats()
+		res.localReads += l
+		res.serverReads += s
+		res.invalidations += inv
+	}
+	if srv != nil {
+		st := srv.Stats()
+		res.serverStats = &st
+	}
+	return res, nil
+}
+
+// report prints the measurement.
+func (r *result) report(out *os.File, o options) error {
+	secs := r.elapsed.Seconds()
+	total := r.reads.Load() + r.writes.Load()
+	fmt.Fprintf(out, "leasebench: %d clients, %d objects, %.0f%% writes, %v\n",
+		o.clients, o.objects, o.writeRatio*100, o.duration)
+	fmt.Fprintf(out, "throughput: %.0f ops/s (%d reads, %d writes, %d errors)\n",
+		float64(total)/secs, r.reads.Load(), r.writes.Load(), r.errors.Load())
+	if err := r.readLat.WriteSummary(out, "read"); err != nil {
+		return err
+	}
+	if r.writeLat.Count() > 0 {
+		if err := r.writeLat.WriteSummary(out, "write"); err != nil {
+			return err
+		}
+	}
+	if r.reads.Load() > 0 {
+		fmt.Fprintf(out, "cache: %.1f%% of reads served locally, %d invalidations received\n",
+			100*float64(r.localReads)/float64(r.localReads+r.serverReads), r.invalidations)
+	}
+	if r.serverStats != nil {
+		fmt.Fprintf(out, "server state: %d object leases, %d volume leases (%d bytes)\n",
+			r.serverStats.ObjectLeases, r.serverStats.VolumeLeases, r.serverStats.StateBytes)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-clients", "4", "-duration", "100ms", "-write-ratio", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.clients != 4 || o.duration != 100*time.Millisecond || o.writeRatio != 0.5 {
+		t.Errorf("options = %+v", o)
+	}
+	for _, bad := range [][]string{
+		{"-clients", "0"},
+		{"-duration", "0s"},
+		{"-write-ratio", "1.5"},
+		{"-objects", "-1"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("flags %v accepted", bad)
+		}
+	}
+}
+
+func TestExecuteSelfContained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	o, err := parseFlags([]string{
+		"-clients", "4", "-objects", "8", "-duration", "300ms", "-write-ratio", "0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := execute(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.reads.Load() == 0 {
+		t.Error("no reads completed")
+	}
+	if res.writes.Load() == 0 {
+		t.Error("no writes completed")
+	}
+	if res.errors.Load() != 0 {
+		t.Errorf("%d errors during load", res.errors.Load())
+	}
+	if res.readLat.Count() != res.reads.Load() {
+		t.Errorf("latency samples %d != reads %d", res.readLat.Count(), res.reads.Load())
+	}
+	if res.serverStats == nil {
+		t.Error("self-contained run missing server stats")
+	}
+	// The workload is read-dominated over a warm cache: most reads must be
+	// local.
+	if res.localReads == 0 {
+		t.Error("no locally served reads; caching is broken")
+	}
+}
+
+func TestExecuteSelfContainedTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	o, err := parseFlags([]string{
+		"-tcp", "-clients", "2", "-objects", "4", "-duration", "200ms", "-write-ratio", "0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := execute(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.reads.Load() == 0 || res.errors.Load() != 0 {
+		t.Errorf("reads=%d errors=%d", res.reads.Load(), res.errors.Load())
+	}
+}

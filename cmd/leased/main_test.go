@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+func testServer(t *testing.T) *server.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Name: "t", Addr: "t:1", Net: transport.NewMemory(),
+		Table: core.Config{ObjectLease: time.Minute, VolumeLease: time.Second, Mode: core.ModeEager},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if err := srv.AddVolume("vol"); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestSeedObjectsSynthetic(t *testing.T) {
+	srv := testServer(t)
+	n, err := seedObjects(srv, "vol", "", 5)
+	if err != nil || n != 5 {
+		t.Fatalf("seedObjects = %d, %v", n, err)
+	}
+	version, data, err := srv.Read("obj-3")
+	if err != nil || version != 1 || len(data) == 0 {
+		t.Errorf("Read(obj-3) = v%d %q %v", version, data, err)
+	}
+}
+
+func TestSeedObjectsFromDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"index.html":   "<h1>hi</h1>",
+		"sub/page.txt": "nested",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := testServer(t)
+	n, err := seedObjects(srv, "vol", dir, 0)
+	if err != nil || n != 2 {
+		t.Fatalf("seedObjects = %d, %v", n, err)
+	}
+	_, data, err := srv.Read(core.ObjectID(filepath.Join("sub", "page.txt")))
+	if err != nil || string(data) != "nested" {
+		t.Errorf("Read(sub/page.txt) = %q %v", data, err)
+	}
+}
+
+func TestSeedObjectsMissingDirectory(t *testing.T) {
+	srv := testServer(t)
+	if _, err := seedObjects(srv, "vol", "/nonexistent/dir", 0); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}

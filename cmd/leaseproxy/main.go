@@ -1,0 +1,83 @@
+// Command leaseproxy runs a hierarchical volume-lease cache over TCP: a
+// node that holds leases from an upstream leased (or another leaseproxy)
+// and grants sub-leases to its own downstream clients, with sub-leases
+// capped so they never outlive the upstream leases.
+//
+// Usage:
+//
+//	leased -addr :7400 -volume site &
+//	leaseproxy -addr :7401 -upstream 127.0.0.1:7400 -volume site
+//	leaseproxy -addr :7402 -upstream 127.0.0.1:7401 -volume site   # chainable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proxy"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leaseproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7401", "downstream listen address")
+	upstream := flag.String("upstream", "127.0.0.1:7400", "upstream server or proxy address")
+	id := flag.String("id", "leaseproxy", "identity toward the upstream")
+	volume := flag.String("volume", "vol", "volume to proxy")
+	objLease := flag.Duration("object-lease", 10*time.Minute, "nominal downstream object sub-lease")
+	volLease := flag.Duration("volume-lease", 10*time.Second, "nominal downstream volume sub-lease")
+	fence := flag.Duration("startup-fence", 30*time.Second,
+		"delay upstream acks this long after boot (set to the upstream volume-lease duration)")
+	msgTimeout := flag.Duration("msg-timeout", time.Second, "minimum downstream ack wait")
+	verbose := flag.Bool("v", false, "verbose logging")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 = off)")
+	flag.Parse()
+
+	cfg := proxy.Config{
+		ID:             core.ClientID(*id),
+		Addr:           *addr,
+		Net:            transport.TCP{},
+		Upstream:       *upstream,
+		Volume:         core.VolumeID(*volume),
+		SubObjectLease: *objLease,
+		SubVolumeLease: *volLease,
+		StartupFence:   *fence,
+		MsgTimeout:     *msgTimeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	px, err := proxy.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer px.Close()
+	log.Printf("leaseproxy: serving volume %q on %s (upstream %s, sub-leases t=%v tv=%v)",
+		*volume, px.Addr(), *upstream, *objLease, *volLease)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				log.Printf("leaseproxy: stats %+v", px.Stats())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("leaseproxy: shutting down")
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command tracegen generates the synthetic evaluation workloads of Section
+// 4.2 and writes them in the text trace format consumed by leasesim.
+//
+// Usage:
+//
+//	tracegen [flags] > trace.txt
+//
+// Examples:
+//
+//	tracegen                       # default workload (reads + writes)
+//	tracegen -bursty               # the Section 5.3 bursty-write variant
+//	tracegen -clients 50 -days 60  # bigger population, longer span
+//	tracegen -reads-only           # only the read events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rc := workload.DefaultReadConfig()
+	wc := workload.DefaultWriteConfig()
+	bc := workload.DefaultBurstyConfig()
+
+	flag.Int64Var(&rc.Seed, "seed", rc.Seed, "PRNG seed for reads")
+	flag.IntVar(&rc.Clients, "clients", rc.Clients, "number of clients")
+	flag.IntVar(&rc.Servers, "servers", rc.Servers, "number of servers (volumes)")
+	flag.IntVar(&rc.Objects, "objects", rc.Objects, "total objects")
+	days := flag.Float64("days", rc.Duration.Hours()/24, "trace span in days")
+	flag.Float64Var(&rc.SessionRate, "session-rate", rc.SessionRate, "sessions per client per day")
+	flag.Float64Var(&rc.ViewsPerSession, "views", rc.ViewsPerSession, "mean page views per session")
+	flag.Float64Var(&rc.EmbeddedPerView, "embedded", rc.EmbeddedPerView, "mean embedded objects per view")
+	readsOnly := flag.Bool("reads-only", false, "emit only read events")
+	bursty := flag.Bool("bursty", false, "apply the bursty-write transform (Section 5.3)")
+	flag.Float64Var(&bc.MeanExtra, "bursty-mean", bc.MeanExtra, "mean extra same-volume writes per write")
+	stats := flag.Bool("stats", false, "print workload statistics to stderr")
+	flag.Parse()
+
+	rc.Duration = time.Duration(*days * 24 * float64(time.Hour))
+
+	reads, u, err := workload.GenerateReads(rc)
+	if err != nil {
+		return err
+	}
+	out := reads
+	if !*readsOnly {
+		writes, err := workload.SynthesizeWrites(reads, wc)
+		if err != nil {
+			return err
+		}
+		if *bursty {
+			writes, err = workload.MakeBursty(writes, u, bc)
+			if err != nil {
+				return err
+			}
+		}
+		out = trace.Merge(reads, writes)
+	}
+	if *stats {
+		st := trace.Summarize(out)
+		fmt.Fprintf(os.Stderr,
+			"events=%d reads=%d writes=%d clients=%d servers=%d objects=%d span=%v\n",
+			st.Events, st.Reads, st.Writes, st.Clients, st.Servers, st.Objects, st.Duration)
+	}
+	return trace.Write(os.Stdout, out)
+}

@@ -1,0 +1,125 @@
+// Multiserver: one browser-like cache reading from a fleet of independent
+// volume-lease servers through client.Pool — the paper's deployment shape
+// (its trace clients touch 1000 servers). Demonstrates per-server failure
+// isolation: partitioning one server only affects its volumes, and the
+// pool's other connections keep serving strongly consistent reads.
+//
+//	go run ./examples/multiserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+const fleet = 4
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := transport.NewMemory()
+
+	// A fleet of origins, one volume each: news, sports, weather, finance.
+	sites := []string{"news", "sports", "weather", "finance"}
+	servers := make([]*server.Server, fleet)
+	for i, site := range sites {
+		srv, err := server.New(server.Config{
+			Name: site,
+			Addr: site + ":1",
+			Net:  net,
+			Table: core.Config{
+				ObjectLease: time.Minute,
+				VolumeLease: 2 * time.Second,
+				Mode:        core.ModeEager,
+			},
+			MsgTimeout: 50 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if err := srv.AddVolume(core.VolumeID(site)); err != nil {
+			return err
+		}
+		for p := 0; p < 3; p++ {
+			oid := core.ObjectID(fmt.Sprintf("/page-%d", p))
+			if err := srv.AddObject(core.VolumeID(site), oid,
+				[]byte(fmt.Sprintf("%s %s v1", site, oid))); err != nil {
+				return err
+			}
+		}
+		servers[i] = srv
+	}
+
+	pool, err := client.NewPool(net, client.Config{ID: "browser", Redial: true})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	for _, site := range sites {
+		pool.AddRoute(core.VolumeID(site), site+":1")
+	}
+
+	// Browse every site; connections are dialed lazily.
+	for _, site := range sites {
+		data, err := pool.Read(core.VolumeID(site), "/page-0")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("read %-8s -> %s\n", site, data)
+	}
+	fmt.Printf("pool holds %d server connections\n\n", pool.Connections())
+
+	// Re-reads inside the leases are pure cache hits — zero messages.
+	for i := 0; i < 5; i++ {
+		if _, err := pool.Read("weather", "/page-0"); err != nil {
+			return err
+		}
+	}
+
+	// One site updates; only its readers are invalidated.
+	if _, _, err := servers[0].Write("/page-0", []byte("news /page-0 v2 (BREAKING)")); err != nil {
+		return err
+	}
+	data, _ := pool.Read("news", "/page-0")
+	fmt.Printf("after write: news -> %s\n\n", data)
+
+	// Partition the sports origin. Its volume becomes unreadable once the
+	// volume lease lapses; every other site is unaffected.
+	net.Partition("browser", "sports")
+	time.Sleep(2500 * time.Millisecond)
+	if _, err := pool.Read("sports", "/page-0"); err != nil {
+		fmt.Println("sports partitioned: strongly consistent read refused (as it must be)")
+	}
+	if stale, ok := pool.Peek("sports", "/page-0"); ok {
+		fmt.Printf("sports partitioned: Peek still offers %q\n", stale)
+	}
+	for _, site := range []string{"news", "weather", "finance"} {
+		if _, err := pool.Read(core.VolumeID(site), "/page-0"); err != nil {
+			return fmt.Errorf("healthy site %s failed: %w", site, err)
+		}
+	}
+	fmt.Println("news, weather, finance unaffected")
+
+	net.Heal("browser", "sports")
+	data, err = pool.Read("sports", "/page-0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after heal: sports -> %s\n", data)
+
+	local, remote, invals := pool.Stats()
+	fmt.Printf("\npool stats: %d cache reads, %d reads with server contact, %d invalidations\n",
+		local, remote, invals)
+	return nil
+}

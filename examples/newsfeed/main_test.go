@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestRun executes both scenarios end to end; examples double as smoke
+// tests of the public API.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	if err := scenario("blocking", server.WriteBlocking); err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario("best-effort", server.WriteBestEffort); err != nil {
+		t.Fatal(err)
+	}
+}

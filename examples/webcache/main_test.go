@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; examples double as smoke tests
+// of the public API.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in -short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file implements the ablation studies DESIGN.md calls out beyond the
+// paper's figures:
+//
+//   - DSweep quantifies the discard-time trade-off of Delay(tv, t, d) the
+//     paper describes but does not measure ("we have not yet quantified
+//     this effect"): small d cuts server state but forces reconnection
+//     protocols when discarded clients return.
+//   - TVSweep isolates the volume-lease-length trade-off: message overhead
+//     versus the write-delay bound, with Lease as the tv→∞ limit.
+//   - LocalitySweep varies how many objects a page view touches, showing
+//     when volume leases stop paying off (the amortization argument of
+//     Section 3.1.3 made quantitative).
+
+// DPoint is one measurement of the Delay discard sweep.
+type DPoint struct {
+	D             float64 // seconds; +Inf for the paper's ∞
+	Messages      int64
+	AvgStateBytes float64 // at the most popular server
+	Reconnects    int64   // MUST_RENEW_ALL conversations forced
+}
+
+// DSweep measures Delay(tv, t, d) across discard times.
+func DSweep(w Workload, tv, t float64, ds []float64) []DPoint {
+	target := nthServer(w, 0)
+	var out []DPoint
+	for _, d := range ds {
+		spec := Delay(tv, t)
+		if d > 0 && !isInf(d) {
+			spec = DelayD(tv, t, d)
+		}
+		rec, res := Run(w, spec)
+		p := DPoint{D: d, Messages: rec.Totals().Messages}
+		if ss, ok := rec.Server(target); ok {
+			p.AvgStateBytes = ss.State.Average(res.End)
+		}
+		// Each reconnection sends exactly one MUST_RENEW_ALL.
+		p.Reconnects = rec.Totals().ByClass[mustRenewClass]
+		out = append(out, p)
+	}
+	return out
+}
+
+func isInf(v float64) bool { return v > 1e17 }
+
+// TVPoint is one measurement of the volume-lease-length sweep.
+type TVPoint struct {
+	TV             float64 // seconds; the write-delay bound under failures
+	Messages       int64
+	VolumeRenewals int64
+}
+
+// TVSweep measures Volume(tv, t) across volume-lease lengths at a fixed
+// object timeout; Lease(t) is appended as the tv=∞ limit.
+func TVSweep(w Workload, t float64, tvs []float64) []TVPoint {
+	var out []TVPoint
+	for _, tv := range tvs {
+		rec, _ := Run(w, Volume(tv, t))
+		out = append(out, TVPoint{
+			TV:             tv,
+			Messages:       rec.Totals().Messages,
+			VolumeRenewals: rec.Totals().ByClass[volReqClass],
+		})
+	}
+	rec, _ := Run(w, Lease(t))
+	out = append(out, TVPoint{TV: inf(), Messages: rec.Totals().Messages})
+	return out
+}
+
+func inf() float64 { return 1e18 }
+
+// LocalityPoint is one measurement of the spatial-locality sweep.
+type LocalityPoint struct {
+	ObjectsPerView float64
+	LeaseMsgs      int64 // Lease(bound): the fair same-write-bound baseline
+	VolumeMsgs     int64 // Volume(bound, t)
+	Saving         float64
+}
+
+// LocalitySweep regenerates the workload with varying per-view burst sizes
+// and reports Volume's saving over Lease at a fixed 10s write-delay bound.
+// With ~1 object per view there is nothing to amortize a volume lease over
+// and the saving should vanish (or go negative); it grows with the burst.
+func LocalitySweep(burstSizes []float64) []LocalityPoint {
+	var out []LocalityPoint
+	for _, b := range burstSizes {
+		rc := smallReadConfig()
+		rc.EmbeddedPerView = b
+		reads, _, err := workload.GenerateReads(rc)
+		if err != nil {
+			panic(err)
+		}
+		writes, err := workload.SynthesizeWrites(reads, workload.DefaultWriteConfig())
+		if err != nil {
+			panic(err)
+		}
+		w := Workload{Name: "locality", Trace: trace.Merge(reads, writes)}
+		leaseRec, _ := Run(w, Lease(10))
+		volRec, _ := Run(w, Volume(10, 1e6))
+		lm, vm := leaseRec.Totals().Messages, volRec.Totals().Messages
+		out = append(out, LocalityPoint{
+			ObjectsPerView: 1 + b,
+			LeaseMsgs:      lm,
+			VolumeMsgs:     vm,
+			Saving:         1 - float64(vm)/float64(lm),
+		})
+	}
+	return out
+}
+
+// Message-class indices used by the sweeps.
+const (
+	mustRenewClass = metrics.MsgMustRenewAll
+	volReqClass    = metrics.MsgVolLeaseReq
+)
+
+// DefaultDSweep are the discard times measured by cmd/figures -ablations.
+var DefaultDSweep = []float64{60, 600, 3600, 6 * 3600, 24 * 3600, 1e18}
+
+// DefaultTVSweep are the volume-lease lengths measured.
+var DefaultTVSweep = []float64{1, 10, 30, 100, 300, 1000}
+
+// DefaultLocalitySweep are the mean embedded-object counts measured.
+var DefaultLocalitySweep = []float64{0, 1, 3, 7, 15}
+
+// BestEffortDelayBound reports, for documentation purposes, the staleness
+// bound of best-effort writes: the volume lease length.
+func BestEffortDelayBound(tv time.Duration) time.Duration { return tv }
+
+// GroupingPoint is one measurement of the volume-granularity sweep.
+type GroupingPoint struct {
+	VolumesPerServer int
+	Messages         int64
+	VolumeRenewals   int64
+}
+
+// GroupingSweep quantifies the paper's "more sophisticated grouping" future
+// work in its simplest direction: fragment each server's objects into n
+// hash-partitioned volumes. Finer volumes mean a page view spans several
+// volumes, so one short renewal no longer covers the burst.
+func GroupingSweep(w Workload, tv, t float64, groups []int) []GroupingPoint {
+	var out []GroupingPoint
+	for _, g := range groups {
+		g := g
+		rec, _, err := simRunGrouped(w, tv, t, g)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, GroupingPoint{
+			VolumesPerServer: g,
+			Messages:         rec.Totals().Messages,
+			VolumeRenewals:   rec.Totals().ByClass[volReqClass],
+		})
+	}
+	return out
+}
+
+// DefaultGroupingSweep are the volume counts measured.
+var DefaultGroupingSweep = []int{1, 2, 4, 8, 16}

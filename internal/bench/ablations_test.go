@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDSweepTradeoff(t *testing.T) {
+	w := DefaultWorkload(ScaleSmall)
+	points := DSweep(w, 10, 1e6, []float64{60, 3600, 1e18})
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	shortest, longest := points[0], points[len(points)-1]
+	// The paper's prediction: a short d discards pending state (less memory)
+	// but forces reconnection protocols (more messages).
+	if shortest.AvgStateBytes > longest.AvgStateBytes {
+		t.Errorf("d=60s avg state %g above d=inf %g; short d must store less",
+			shortest.AvgStateBytes, longest.AvgStateBytes)
+	}
+	if shortest.Messages < longest.Messages {
+		t.Errorf("d=60s messages %d below d=inf %d; reconnections must add traffic",
+			shortest.Messages, longest.Messages)
+	}
+	if shortest.Reconnects == 0 {
+		t.Error("d=60s forced no reconnections; the sweep is not exercising the discard path")
+	}
+	if longest.Reconnects != 0 {
+		t.Errorf("d=inf forced %d reconnections; none are possible without discards",
+			longest.Reconnects)
+	}
+	// Monotone-ish reconnect counts: shorter d, more reconnects.
+	for i := 1; i < len(points); i++ {
+		if points[i].Reconnects > points[i-1].Reconnects {
+			t.Errorf("reconnects increased from d=%g (%d) to d=%g (%d)",
+				points[i-1].D, points[i-1].Reconnects, points[i].D, points[i].Reconnects)
+		}
+	}
+}
+
+func TestTVSweepMonotone(t *testing.T) {
+	w := DefaultWorkload(ScaleSmall)
+	points := TVSweep(w, 1e6, []float64{1, 10, 100, 1000})
+	if len(points) != 5 { // + Lease limit
+		t.Fatalf("got %d points", len(points))
+	}
+	// Longer volume leases mean fewer renewals and fewer messages; Lease is
+	// the cheapest (tv=inf) limit.
+	for i := 1; i < len(points); i++ {
+		if points[i].Messages > points[i-1].Messages {
+			t.Errorf("messages rose from tv=%g (%d) to tv=%g (%d)",
+				points[i-1].TV, points[i-1].Messages, points[i].TV, points[i].Messages)
+		}
+	}
+	for i := 1; i < len(points)-1; i++ {
+		if points[i].VolumeRenewals > points[i-1].VolumeRenewals {
+			t.Errorf("renewals rose from tv=%g to tv=%g", points[i-1].TV, points[i].TV)
+		}
+	}
+	if points[len(points)-1].VolumeRenewals != 0 {
+		t.Error("the Lease limit performed volume renewals")
+	}
+}
+
+func TestLocalitySweepSavingGrowsWithBurst(t *testing.T) {
+	points := LocalitySweep([]float64{0, 7})
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	lone, burst := points[0], points[1]
+	if burst.Saving <= lone.Saving {
+		t.Errorf("saving with 8-object views (%.1f%%) not above 1-object views (%.1f%%): amortization is the whole point",
+			burst.Saving*100, lone.Saving*100)
+	}
+	if burst.Saving < 0.15 {
+		t.Errorf("saving with 8-object views only %.1f%%", burst.Saving*100)
+	}
+}
+
+func TestBestEffortDelayBound(t *testing.T) {
+	if got := BestEffortDelayBound(30 * time.Second); got != 30*time.Second {
+		t.Errorf("bound = %v", got)
+	}
+}
+
+func TestGroupingSweepFinerVolumesCostMore(t *testing.T) {
+	w := DefaultWorkload(ScaleSmall)
+	points := GroupingSweep(w, 10, 1e6, []int{1, 4, 16})
+	for i := 1; i < len(points); i++ {
+		if points[i].Messages < points[i-1].Messages {
+			t.Errorf("messages fell from %d volumes/server (%d) to %d (%d); fragmentation cannot reduce renewals",
+				points[i-1].VolumesPerServer, points[i-1].Messages,
+				points[i].VolumesPerServer, points[i].Messages)
+		}
+		if points[i].VolumeRenewals < points[i-1].VolumeRenewals {
+			t.Errorf("renewals fell with finer volumes")
+		}
+	}
+	// One volume per server must match the stock Volume algorithm exactly.
+	rec, _ := Run(w, Volume(10, 1e6))
+	if points[0].Messages != rec.Totals().Messages {
+		t.Errorf("grouped(1) = %d msgs, stock Volume = %d", points[0].Messages, rec.Totals().Messages)
+	}
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file implements Table 1's closed-form cost model. It plays the role
+// Gwertzman & Seltzer's simulator played in the paper's validation: an
+// independent prediction the trace-driven simulator must match on workloads
+// simple enough to solve analytically (see validate_test.go).
+
+// ModelParams are Figure 1's parameters for one object.
+type ModelParams struct {
+	R    float64 // reads/second of the object by one client
+	Ro   float64 // aggregate reads/second of all objects in the volume
+	T    float64 // object timeout t (seconds)
+	TV   float64 // volume timeout t_v (seconds)
+	Ctot float64 // clients with a copy
+	Co   float64 // clients with a valid object lease
+	Cv   float64 // clients with a valid volume lease
+}
+
+// ModelRow is one row of Table 1.
+type ModelRow struct {
+	Algorithm         string
+	ExpectedStaleTime float64 // seconds
+	WorstStaleTime    float64 // seconds; +Inf for unbounded
+	ReadCost          float64 // fraction of reads requiring a server message
+	WriteCost         float64 // messages per write
+	AckWaitDelay      float64 // seconds a failed write may stall; +Inf unbounded
+	ServerStateUnits  float64 // client-tracking records
+}
+
+// Inf is the table's ∞.
+var Inf = math.Inf(1)
+
+// Table1 evaluates every row of Table 1 for the given parameters.
+func Table1(p ModelParams) []ModelRow {
+	rows := []ModelRow{
+		{
+			Algorithm: "PollEachRead",
+			ReadCost:  1,
+		},
+		{
+			Algorithm:         "Poll",
+			ExpectedStaleTime: p.T / 2,
+			WorstStaleTime:    p.T,
+			ReadCost:          math.Min(1/(p.R*p.T), 1),
+		},
+		{
+			Algorithm:        "Callback",
+			WriteCost:        p.Ctot,
+			AckWaitDelay:     Inf,
+			ServerStateUnits: p.Ctot,
+		},
+		{
+			Algorithm:        "Lease",
+			ReadCost:         math.Min(1/(p.R*p.T), 1),
+			WriteCost:        p.Co,
+			AckWaitDelay:     p.T,
+			ServerStateUnits: p.Co,
+		},
+		{
+			Algorithm:        "VolumeLeases",
+			ReadCost:         math.Min(1/(p.Ro*p.TV), 1) + math.Min(1/(p.R*p.T), 1),
+			WriteCost:        p.Co,
+			AckWaitDelay:     math.Min(p.T, p.TV),
+			ServerStateUnits: p.Co,
+		},
+		{
+			Algorithm:        "VolumeDelayInval",
+			ReadCost:         math.Min(1/(p.Ro*p.TV), 1) + math.Min(1/(p.R*p.T), 1),
+			WriteCost:        p.Cv,
+			AckWaitDelay:     math.Min(p.T, p.TV),
+			ServerStateUnits: p.Cv, // ≈ size(C_d): clients recently expired
+		},
+	}
+	return rows
+}
+
+// WriteTable1 renders the rows as an aligned text table.
+func WriteTable1(w io.Writer, rows []ModelRow) error {
+	if _, err := fmt.Fprintf(w, "%-18s %12s %12s %10s %10s %10s %8s\n",
+		"algorithm", "E[stale] s", "worst s", "read cost", "write cost", "ack wait", "state"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-18s %12s %12s %10.4f %10.1f %10s %8.1f\n",
+			r.Algorithm, fnum(r.ExpectedStaleTime), fnum(r.WorstStaleTime),
+			r.ReadCost, r.WriteCost, fnum(r.AckWaitDelay), r.ServerStateUnits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fnum(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Callout is one of Section 5.1's headline comparisons.
+type Callout struct {
+	Name     string
+	Baseline string
+	Best     string
+	// Saving is the fractional message reduction of Best vs Baseline
+	// (paper: 0.32 / 0.39 at a 10s write bound, 0.30 / 0.40 at 100s).
+	Saving       float64
+	BaselineMsgs int64
+	BestMsgs     int64
+	BestObjectT  float64
+}
+
+// Callouts reproduces the triangle/square comparisons of Figure 5: for a
+// write-delay bound B (10s or 100s), the best achievable message count of
+// Lease(B) versus Volume(B, t) and Delay(B, t, ∞) with t chosen freely.
+func Callouts(w Workload, bound float64, timeouts []float64) []Callout {
+	leaseRec, _ := Run(w, Lease(bound))
+	leaseMsgs := leaseRec.Totals().Messages
+
+	best := func(mk func(t float64) Spec) (int64, float64) {
+		bestMsgs, bestT := int64(math.MaxInt64), 0.0
+		for _, t := range timeouts {
+			if t < bound {
+				continue // object lease shorter than the volume lease is pointless
+			}
+			rec, _ := Run(w, mk(t))
+			if m := rec.Totals().Messages; m < bestMsgs {
+				bestMsgs, bestT = m, t
+			}
+		}
+		return bestMsgs, bestT
+	}
+
+	volMsgs, volT := best(func(t float64) Spec { return Volume(bound, t) })
+	delayMsgs, delayT := best(func(t float64) Spec { return Delay(bound, t) })
+
+	return []Callout{
+		{
+			Name:         fmt.Sprintf("Volume(%g,t) vs Lease(%g)", bound, bound),
+			Baseline:     Lease(bound).Name(),
+			Best:         Volume(bound, volT).Name(),
+			Saving:       1 - float64(volMsgs)/float64(leaseMsgs),
+			BaselineMsgs: leaseMsgs,
+			BestMsgs:     volMsgs,
+			BestObjectT:  volT,
+		},
+		{
+			Name:         fmt.Sprintf("Delay(%g,t,inf) vs Lease(%g)", bound, bound),
+			Baseline:     Lease(bound).Name(),
+			Best:         Delay(bound, delayT).Name(),
+			Saving:       1 - float64(delayMsgs)/float64(leaseMsgs),
+			BaselineMsgs: leaseMsgs,
+			BestMsgs:     delayMsgs,
+			BestObjectT:  delayT,
+		},
+	}
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// This file is the simulator-validation experiment of Section 4.1: the
+// paper checked its simulator against Gwertzman & Seltzer's and against
+// analytically solvable synthetic workloads; we do the latter, comparing
+// simulator message counts against Table 1's closed-form model on periodic
+// workloads.
+
+// periodicReads builds a trace in which one client reads each of objs in
+// order every gap seconds, for rounds full cycles.
+func periodicReads(objs []string, gap float64, rounds int) trace.Trace {
+	var tr trace.Trace
+	sec := 0.0
+	for round := 0; round < rounds; round++ {
+		for _, o := range objs {
+			tr = append(tr, trace.Event{
+				Time: clock.At(sec), Op: trace.OpRead,
+				Client: "c", Server: "s", Object: o, Size: 100,
+			})
+			sec += gap
+		}
+	}
+	return tr
+}
+
+func messages(t *testing.T, tr trace.Trace, spec Spec) int64 {
+	t.Helper()
+	w := Workload{Trace: tr}
+	rec, _ := Run(w, spec)
+	return rec.Totals().Messages
+}
+
+func TestValidatePollAgainstModel(t *testing.T) {
+	// One object read every 10s, 100 reads, t = 100s (k=10):
+	// validations at reads 0,10,20,... => 10 validations, 2 msgs each.
+	tr := periodicReads([]string{"o"}, 10, 100)
+	got := messages(t, tr, Poll(100))
+	if got != 20 {
+		t.Errorf("Poll(100) messages = %d, want 20", got)
+	}
+	// Model: read cost fraction = 1/(R*t) = 10/100 = 0.1 of 100 reads = 10
+	// server contacts.
+	p := ModelParams{R: 0.1, T: 100}
+	rows := Table1(p)
+	want := rows[1].ReadCost * 100 * 2 // 2 messages per contact
+	if math.Abs(float64(got)-want) > 0.5 {
+		t.Errorf("simulator %d vs model %g", got, want)
+	}
+}
+
+func TestValidatePollEachReadAgainstModel(t *testing.T) {
+	tr := periodicReads([]string{"o"}, 10, 50)
+	got := messages(t, tr, PollEachRead())
+	if got != 100 { // every read: request + response
+		t.Errorf("PollEachRead messages = %d, want 100", got)
+	}
+}
+
+func TestValidateLeaseAgainstModel(t *testing.T) {
+	// Lease renewal cadence identical to Poll's validation cadence.
+	tr := periodicReads([]string{"o"}, 10, 100)
+	got := messages(t, tr, Lease(100))
+	if got != 20 {
+		t.Errorf("Lease(100) messages = %d, want 20", got)
+	}
+}
+
+func TestValidateVolumeAgainstModel(t *testing.T) {
+	// One object, read every 10s, 100 reads. Object timeout 100s (renewal
+	// every 10th read => 10 renewals), volume timeout 50s (renewal every
+	// 5th read => 20 renewals). Total = 2*(10+20) = 60 messages.
+	tr := periodicReads([]string{"o"}, 10, 100)
+	got := messages(t, tr, Volume(50, 100))
+	if got != 60 {
+		t.Errorf("Volume(50,100) messages = %d, want 60", got)
+	}
+	// Model: per-read cost = 1/(Ro*tv) + 1/(R*t) with R = Ro = 0.1/s.
+	p := ModelParams{R: 0.1, Ro: 0.1, T: 100, TV: 50}
+	rows := Table1(p)
+	want := rows[4].ReadCost * 100 * 2
+	if math.Abs(float64(got)-want) > 0.5 {
+		t.Errorf("simulator %d vs model %g", got, want)
+	}
+}
+
+func TestValidateVolumeAmortization(t *testing.T) {
+	// Five objects read in a burst every cycle: the volume renewal is
+	// amortized over the burst, per the paper's 1/sum(Ro*tv) term. With a
+	// 5-object burst at 1s spacing and cycles 60s apart (tv=30, t=1e6):
+	// each cycle needs 1 volume renewal; object leases never expire.
+	var tr trace.Trace
+	sec := 0.0
+	for round := 0; round < 50; round++ {
+		for i, o := range []string{"a", "b", "c", "d", "e"} {
+			_ = i
+			tr = append(tr, trace.Event{Time: clock.At(sec), Op: trace.OpRead,
+				Client: "c", Server: "s", Object: o, Size: 10})
+			sec++
+		}
+		sec += 55 // next burst 60s after this one started
+	}
+	got := messages(t, tr, Volume(30, 1e6))
+	// 5 initial object fetches (2 msgs each) + 50 volume renewals (2 each).
+	want := int64(5*2 + 50*2)
+	if got != want {
+		t.Errorf("burst workload messages = %d, want %d", got, want)
+	}
+	// Lease with the same object timeout: only the 5 fetches.
+	if got := messages(t, tr, Lease(1e6)); got != 10 {
+		t.Errorf("Lease(1e6) messages = %d, want 10", got)
+	}
+}
+
+func TestValidateCallbackWriteCost(t *testing.T) {
+	// C clients cache the object; a write must send C invalidations and
+	// collect C acks (write cost C_tot).
+	var tr trace.Trace
+	clients := []string{"c1", "c2", "c3", "c4"}
+	for i, c := range clients {
+		tr = append(tr, trace.Event{Time: clock.At(float64(i)), Op: trace.OpRead,
+			Client: c, Server: "s", Object: "o", Size: 10})
+	}
+	tr = append(tr, trace.Event{Time: clock.At(100), Op: trace.OpWrite,
+		Server: "s", Object: "o", Size: 10})
+	got := messages(t, tr, Callback())
+	// 4 fetches (2 msgs) + 4 invalidation round trips (2 msgs).
+	if got != 16 {
+		t.Errorf("Callback messages = %d, want 16", got)
+	}
+	p := ModelParams{Ctot: 4}
+	if w := Table1(p)[2].WriteCost; w != 4 {
+		t.Errorf("model write cost = %g, want 4", w)
+	}
+}
+
+func TestValidateLeaseWriteCostOnlyValidHolders(t *testing.T) {
+	// Two clients fetch; one lease expires before the write: write cost is
+	// C_o = 1, not C_tot = 2.
+	tr := trace.Trace{
+		{Time: clock.At(0), Op: trace.OpRead, Client: "c1", Server: "s", Object: "o", Size: 10},
+		{Time: clock.At(90), Op: trace.OpRead, Client: "c2", Server: "s", Object: "o", Size: 10},
+		{Time: clock.At(150), Op: trace.OpWrite, Server: "s", Object: "o", Size: 10},
+	}
+	got := messages(t, tr, Lease(100))
+	// 2 fetches (4) + 1 invalidation round trip (2).
+	if got != 6 {
+		t.Errorf("Lease messages = %d, want 6", got)
+	}
+}
+
+func TestValidateStaleTimeModel(t *testing.T) {
+	rows := Table1(ModelParams{R: 1, T: 60})
+	if rows[1].ExpectedStaleTime != 30 || rows[1].WorstStaleTime != 60 {
+		t.Errorf("Poll stale times = %+v", rows[1])
+	}
+	for _, i := range []int{0, 2, 3, 4, 5} {
+		if rows[i].ExpectedStaleTime != 0 || rows[i].WorstStaleTime != 0 {
+			t.Errorf("%s must never serve stale data: %+v", rows[i].Algorithm, rows[i])
+		}
+	}
+	if !math.IsInf(rows[2].AckWaitDelay, 1) {
+		t.Error("Callback ack wait must be unbounded")
+	}
+	if rows[3].AckWaitDelay != 60 {
+		t.Errorf("Lease ack wait = %g, want t", rows[3].AckWaitDelay)
+	}
+}
+
+func TestValidateAckWaitMin(t *testing.T) {
+	rows := Table1(ModelParams{R: 1, Ro: 1, T: 1000, TV: 10})
+	if rows[4].AckWaitDelay != 10 || rows[5].AckWaitDelay != 10 {
+		t.Errorf("volume ack wait = %g/%g, want min(t,tv)=10",
+			rows[4].AckWaitDelay, rows[5].AckWaitDelay)
+	}
+}
+
+func TestValidateReadCostCapped(t *testing.T) {
+	// Reads far slower than the timeout: cost saturates at 1 per read.
+	rows := Table1(ModelParams{R: 0.0001, Ro: 0.0001, T: 10, TV: 10})
+	if rows[1].ReadCost != 1 {
+		t.Errorf("Poll read cost = %g, want capped at 1", rows[1].ReadCost)
+	}
+	if rows[4].ReadCost != 2 { // volume + object renewal on every read
+		t.Errorf("Volume read cost = %g, want 2", rows[4].ReadCost)
+	}
+}

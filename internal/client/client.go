@@ -1,0 +1,430 @@
+// Package client implements the client side of the volume-lease protocol
+// (the paper's Figure 4): a cache that serves reads locally only while it
+// holds unexpired leases on both the object and the object's volume, renews
+// lapsed leases from the server, responds to server-initiated
+// invalidations, and runs the reconnection protocol (MUST_RENEW_ALL /
+// RENEW_OBJ_LEASES) when the server demands it.
+//
+// A Client owns one connection to one server. Reads are strongly
+// consistent: a read never returns data that the server had overwritten
+// (and committed) before the read began, as long as clocks advance at the
+// same rate (lease expiry needs no absolute synchronization, only bounded
+// drift, which the Skew margin absorbs).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Errors.
+var (
+	// ErrClosed reports use of a closed client.
+	ErrClosed = errors.New("client: closed")
+	// ErrTimeout reports an RPC that got no reply in time.
+	ErrTimeout = errors.New("client: request timed out")
+	// ErrRetry reports an RPC aborted by an automatic reconnection; the
+	// operation can be retried on the fresh connection.
+	ErrRetry = errors.New("client: connection replaced mid-request; retry")
+)
+
+// ServerError is a protocol-level error returned by the server.
+type ServerError struct {
+	Code wire.ErrorCode
+	Msg  string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error %d: %s", e.Code, e.Msg)
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// ID identifies this client to the server.
+	ID core.ClientID
+	// Clock drives lease validity checks; defaults to the wall clock.
+	Clock clock.Clock
+	// Skew is the safety margin subtracted from lease expiries before
+	// trusting them, absorbing clock drift and message latency. Defaults
+	// to 50ms.
+	Skew time.Duration
+	// Timeout bounds each RPC round trip. Defaults to 10s.
+	Timeout time.Duration
+	// Redial enables automatic reconnection: when the connection drops,
+	// the client redials the server with capped exponential backoff,
+	// re-sends Hello, and resumes with its cache intact. RPCs in flight at
+	// the moment of the drop still fail; the next operation retries on the
+	// fresh connection. If the server crashed and restarted, its bumped
+	// volume epoch forces the reconnection protocol on the first renewal,
+	// so the surviving cache is resynchronized safely. Only effective for
+	// clients built with Dial (NewOnConn has no dialer).
+	Redial bool
+	// OnInvalidate, when non-nil, is called synchronously with every batch
+	// of objects the server invalidates, BEFORE the acknowledgment is sent
+	// back. Hierarchical caches (internal/proxy) use it to invalidate their
+	// own downstream clients first, preserving end-to-end consistency: the
+	// origin's write completes only after the whole subtree has dropped the
+	// object.
+	OnInvalidate func(objects []core.ObjectID)
+	// Logf, when non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Skew <= 0 {
+		c.Skew = 50 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+}
+
+// objState is one cached object.
+type objState struct {
+	volume  core.VolumeID
+	data    []byte
+	version core.Version
+	expire  time.Time // object lease expiry; zero if no lease
+	hasData bool
+}
+
+// volState is one volume lease.
+type volState struct {
+	expire time.Time
+	epoch  core.Epoch
+	known  bool // epoch learned at least once
+}
+
+// Client is a connected volume-lease cache.
+type Client struct {
+	cfg Config
+	// dialer re-establishes the connection for Redial; nil when built on a
+	// pre-existing conn.
+	dialer func() (transport.Conn, error)
+
+	mu     sync.Mutex
+	conn   transport.Conn
+	vols   map[core.VolumeID]*volState
+	objs   map[core.ObjectID]*objState
+	rpcs   map[uint64]chan wire.Message
+	seq    uint64
+	err    error // sticky transport error
+	closed bool
+
+	// renewMu serializes volume renewals and invalidation handling so the
+	// multi-round conversations of Figure 4 do not interleave.
+	renewMu sync.Mutex
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// stats
+	localReads  int64
+	serverReads int64
+	invalsSeen  int64
+}
+
+// Dial connects to a volume-lease server and performs the Hello handshake.
+func Dial(net transport.Network, addr string, cfg Config) (*Client, error) {
+	cfg.fillDefaults()
+	if cfg.ID == "" {
+		return nil, errors.New("client: Config.ID is required")
+	}
+	dialer := func() (transport.Conn, error) {
+		if mem, ok := net.(*transport.Memory); ok {
+			// Preserve the client's identity as the host for partition tests.
+			return mem.DialFrom(string(cfg.ID), addr)
+		}
+		return net.Dial(addr)
+	}
+	conn, err := dialer()
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewOnConn(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.dialer = dialer
+	return c, nil
+}
+
+// NewOnConn wraps an established connection (it sends the Hello handshake).
+func NewOnConn(conn transport.Conn, cfg Config) (*Client, error) {
+	cfg.fillDefaults()
+	if cfg.ID == "" {
+		return nil, errors.New("client: Config.ID is required")
+	}
+	c := &Client{
+		cfg:  cfg,
+		conn: conn,
+		vols: make(map[core.VolumeID]*volState),
+		objs: make(map[core.ObjectID]*objState),
+		rpcs: make(map[uint64]chan wire.Message),
+		done: make(chan struct{}),
+	}
+	if err := conn.Send(wire.Hello{Client: cfg.ID}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	conn := c.conn
+	c.mu.Unlock()
+	conn.Close()
+	c.wg.Wait()
+	return nil
+}
+
+// ID reports the client's identity.
+func (c *Client) ID() core.ClientID { return c.cfg.ID }
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf("client %s: "+format, append([]any{c.cfg.ID}, args...)...)
+	}
+}
+
+// Stats reports cache behavior counters: reads served entirely from the
+// local cache, reads that required at least one server round trip, and
+// invalidations received.
+func (c *Client) Stats() (localReads, serverReads, invalidations int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.localReads, c.serverReads, c.invalsSeen
+}
+
+// readLoop routes inbound messages: nonzero sequence numbers resolve
+// in-flight RPCs; zero-sequence messages are server pushes. With Redial
+// enabled it re-establishes dropped connections instead of failing.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		m, err := conn.Recv()
+		if err != nil {
+			lost := fmt.Errorf("client: connection lost: %w", err)
+			if c.cfg.Redial && c.dialer != nil && !c.isClosed() {
+				c.failPending(lost)
+				if c.redial() {
+					continue
+				}
+			}
+			c.fail(lost)
+			return
+		}
+		if m.Sequence() != 0 {
+			c.mu.Lock()
+			ch, ok := c.rpcs[m.Sequence()]
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			} else {
+				c.logf("dropping reply for unknown seq %d: %s", m.Sequence(), m.Kind())
+			}
+			continue
+		}
+		switch v := m.(type) {
+		case wire.Invalidate:
+			c.handleInvalidate(v)
+		default:
+			c.logf("unexpected push %s", m.Kind())
+		}
+	}
+}
+
+// fail marks the client permanently broken and unblocks all waiters.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.failPending(err)
+}
+
+// failPending aborts in-flight RPCs without poisoning the client (used on
+// redial: the next operation retries on the new connection).
+func (c *Client) failPending(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for seq, ch := range c.rpcs {
+		close(ch)
+		delete(c.rpcs, seq)
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// redial re-establishes the connection with capped exponential backoff. It
+// returns false when the client was closed while retrying.
+func (c *Client) redial() bool {
+	backoff := 10 * time.Millisecond
+	for {
+		select {
+		case <-c.done:
+			return false
+		default:
+		}
+		conn, err := c.dialer()
+		if err == nil {
+			if err = conn.Send(wire.Hello{Client: c.cfg.ID}); err == nil {
+				c.mu.Lock()
+				c.conn = conn
+				c.mu.Unlock()
+				c.logf("reconnected")
+				return true
+			}
+			conn.Close()
+		}
+		c.logf("redial failed: %v (retrying in %v)", err, backoff)
+		select {
+		case <-c.done:
+			return false
+		case <-c.cfg.Clock.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// send transmits on the current connection.
+func (c *Client) send(m wire.Message) error {
+	c.mu.Lock()
+	conn := c.conn
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return conn.Send(m)
+}
+
+// handleInvalidate processes a server-initiated INVALIDATE: drop the data
+// and lease, propagate to the OnInvalidate hook, then acknowledge (Figure
+// 4, "Client receives object invalidation message").
+func (c *Client) handleInvalidate(inv wire.Invalidate) {
+	c.dropObjects(inv.Objects)
+	if c.cfg.OnInvalidate != nil {
+		c.cfg.OnInvalidate(inv.Objects)
+	}
+	if err := c.send(wire.AckInvalidate{Objects: inv.Objects}); err != nil {
+		c.logf("ack failed: %v", err)
+	}
+}
+
+// dropObjects clears cached data and leases for the given objects.
+func (c *Client) dropObjects(objects []core.ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, oid := range objects {
+		if o, ok := c.objs[oid]; ok {
+			o.data = nil
+			o.hasData = false
+			o.expire = time.Time{}
+		}
+		c.invalsSeen++
+	}
+}
+
+// rpc sends req and waits for the first reply with the same sequence
+// number. The returned channel stays registered so multi-round
+// conversations can keep receiving; callers must call c.release(seq) when
+// the conversation ends.
+func (c *Client) rpc(seq uint64, req wire.Message) (wire.Message, error) {
+	if err := c.send(req); err != nil {
+		return nil, fmt.Errorf("client: send %s: %w", req.Kind(), err)
+	}
+	return c.await(seq)
+}
+
+// await waits for the next message of an open conversation.
+func (c *Client) await(seq uint64) (wire.Message, error) {
+	c.mu.Lock()
+	ch, ok := c.rpcs[seq]
+	err := c.err
+	c.mu.Unlock()
+	if !ok {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("client: conversation %d not open", seq)
+	}
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				// Aborted by a redial: the connection was replaced while
+				// this conversation was in flight. The caller may retry.
+				err = ErrRetry
+			}
+			return nil, err
+		}
+		if e, isErr := m.(wire.Error); isErr {
+			return nil, &ServerError{Code: e.Code, Msg: e.Msg}
+		}
+		return m, nil
+	case <-c.cfg.Clock.After(c.cfg.Timeout):
+		return nil, fmt.Errorf("%w after %v (%s)", ErrTimeout, c.cfg.Timeout, req2str(seq))
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+func req2str(seq uint64) string { return fmt.Sprintf("seq %d", seq) }
+
+// open registers a new conversation and returns its sequence number.
+func (c *Client) open() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if c.err != nil {
+		return 0, c.err
+	}
+	c.seq++
+	seq := c.seq
+	c.rpcs[seq] = make(chan wire.Message, 4)
+	return seq, nil
+}
+
+// release closes a conversation.
+func (c *Client) release(seq uint64) {
+	c.mu.Lock()
+	delete(c.rpcs, seq)
+	c.mu.Unlock()
+}

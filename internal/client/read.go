@@ -1,0 +1,292 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Read returns the object's data with strong consistency, following Figure
+// 4's client read path: serve from cache iff both the volume lease and the
+// object lease are valid, renewing whichever is missing first.
+func (c *Client) Read(vid core.VolumeID, oid core.ObjectID) ([]byte, error) {
+	// A renewal can race with an invalidation or an expiry, so retry the
+	// validity check a few times before giving up.
+	contacted := false
+	for attempt := 0; attempt < 4; attempt++ {
+		now := c.cfg.Clock.Now()
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		volOK := c.volValidLocked(vid, now)
+		o := c.objs[oid]
+		objOK := o != nil && o.hasData && c.fresh(o.expire, now)
+		if volOK && objOK {
+			data := append([]byte(nil), o.data...)
+			if contacted {
+				c.serverReads++
+			} else {
+				c.localReads++
+			}
+			c.mu.Unlock()
+			return data, nil
+		}
+		c.mu.Unlock()
+
+		if !volOK {
+			contacted = true
+			if err := c.RenewVolume(vid); err != nil {
+				return nil, err
+			}
+		}
+		if !objOK {
+			contacted = true
+			if err := c.renewObject(vid, oid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("client: could not hold both leases long enough to read %s/%s (leases shorter than renewal latency?)", vid, oid)
+}
+
+// Version reports the cached version of an object, if any.
+func (c *Client) Version(oid core.ObjectID) (core.Version, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[oid]
+	if !ok || !o.hasData {
+		return 0, false
+	}
+	return o.version, true
+}
+
+// Peek returns the cached copy WITHOUT any consistency check — the
+// "application-specific action" the paper mentions for clients that prefer
+// possibly-stale data over failing when the server is unreachable. The
+// boolean reports whether a copy exists at all.
+func (c *Client) Peek(oid core.ObjectID) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[oid]
+	if !ok || !o.hasData {
+		return nil, false
+	}
+	return append([]byte(nil), o.data...), true
+}
+
+// Write asks the server to modify an object. It blocks for the server's
+// invalidate/ack round (the paper's write delay) and reports the new
+// version and the server-side wait.
+func (c *Client) Write(oid core.ObjectID, data []byte) (core.Version, time.Duration, error) {
+	seq, err := c.open()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.release(seq)
+	m, err := c.rpc(seq, wire.WriteReq{Seq: seq, Object: oid, Data: data})
+	if err != nil {
+		return 0, 0, err
+	}
+	rep, ok := m.(wire.WriteReply)
+	if !ok {
+		return 0, 0, fmt.Errorf("client: unexpected %s reply to write", m.Kind())
+	}
+	return rep.Version, rep.Waited, nil
+}
+
+// fresh reports whether a lease expiry is still trustworthy after the skew
+// margin.
+func (c *Client) fresh(expire time.Time, now time.Time) bool {
+	return expire.Add(-c.cfg.Skew).After(now)
+}
+
+// volValidLocked checks the volume lease under c.mu.
+func (c *Client) volValidLocked(vid core.VolumeID, now time.Time) bool {
+	v, ok := c.vols[vid]
+	return ok && c.fresh(v.expire, now)
+}
+
+// HasVolumeLease reports whether the client currently holds a valid lease
+// on the volume.
+func (c *Client) HasVolumeLease(vid core.VolumeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.volValidLocked(vid, c.cfg.Clock.Now())
+}
+
+// renewObject runs the REQ_OBJ_LEASE round (Figure 4, "Client requests
+// lease for object o").
+func (c *Client) renewObject(vid core.VolumeID, oid core.ObjectID) error {
+	c.mu.Lock()
+	ver := core.NoVersion
+	if o, ok := c.objs[oid]; ok && o.hasData {
+		ver = o.version
+	}
+	c.mu.Unlock()
+
+	seq, err := c.open()
+	if err != nil {
+		return err
+	}
+	defer c.release(seq)
+	m, err := c.rpc(seq, wire.ReqObjLease{Seq: seq, Object: oid, Version: ver})
+	if err != nil {
+		return err
+	}
+	lease, ok := m.(wire.ObjLease)
+	if !ok {
+		return fmt.Errorf("client: unexpected %s reply to object lease request", m.Kind())
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.objs[oid]
+	if !ok {
+		o = &objState{volume: vid}
+		c.objs[oid] = o
+	}
+	o.volume = vid
+	o.expire = lease.Expire
+	o.version = lease.Version
+	if lease.HasData {
+		o.data = lease.Data
+		o.hasData = true
+	} else if !o.hasData {
+		// Server said our copy is current but we have none: treat as a
+		// protocol anomaly and drop the lease so the next read refetches.
+		o.expire = time.Time{}
+		return fmt.Errorf("client: server granted lease on %s without data for an empty cache", oid)
+	}
+	return nil
+}
+
+// RenewVolume runs the volume-lease conversation of Figure 4, transparently
+// handling all three server responses: plain grant, queued-invalidation
+// delivery, and the full reconnection protocol.
+func (c *Client) RenewVolume(vid core.VolumeID) error {
+	// Serialize renewals: interleaved multi-round conversations on one
+	// volume would confuse both ends.
+	c.renewMu.Lock()
+	defer c.renewMu.Unlock()
+
+	// Another goroutine may have renewed while we waited.
+	if c.HasVolumeLease(vid) {
+		return nil
+	}
+
+	c.mu.Lock()
+	epoch := core.NoEpoch
+	if v, ok := c.vols[vid]; ok && v.known {
+		epoch = v.epoch
+	}
+	c.mu.Unlock()
+
+	seq, err := c.open()
+	if err != nil {
+		return err
+	}
+	defer c.release(seq)
+
+	m, err := c.rpc(seq, wire.ReqVolLease{Seq: seq, Volume: vid, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	for round := 0; round < 8; round++ {
+		switch v := m.(type) {
+		case wire.VolLease:
+			c.mu.Lock()
+			c.vols[vid] = &volState{expire: v.Expire, epoch: v.Epoch, known: true}
+			c.mu.Unlock()
+			return nil
+
+		case wire.InvalRenew:
+			c.applyInvalRenew(v)
+			m, err = c.rpc(seq, wire.AckInvalidate{Seq: seq, Volume: vid, Objects: v.Invalidate})
+			if err != nil {
+				return err
+			}
+
+		case wire.MustRenewAll:
+			held := c.heldObjects(vid)
+			c.logf("reconnecting to volume %s (epoch %d): renewing %d objects", vid, v.Epoch, len(held))
+			m, err = c.rpc(seq, wire.RenewObjLeases{Seq: seq, Volume: vid, Held: held})
+			if err != nil {
+				return err
+			}
+
+		default:
+			return fmt.Errorf("client: unexpected %s during volume renewal", m.Kind())
+		}
+	}
+	return fmt.Errorf("client: volume renewal for %s did not converge", vid)
+}
+
+// applyInvalRenew drops invalidated copies (propagating to the
+// OnInvalidate hook) and installs renewed leases.
+func (c *Client) applyInvalRenew(v wire.InvalRenew) {
+	c.dropObjects(v.Invalidate)
+	if c.cfg.OnInvalidate != nil && len(v.Invalidate) > 0 {
+		c.cfg.OnInvalidate(v.Invalidate)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range v.Renew {
+		o, ok := c.objs[r.Object]
+		if !ok || !o.hasData || o.version != r.Version {
+			// The server renewed something we do not hold at that version;
+			// drop our copy so the next read refetches cleanly.
+			if ok {
+				o.data = nil
+				o.hasData = false
+				o.expire = time.Time{}
+			}
+			continue
+		}
+		o.expire = r.Expire
+	}
+}
+
+// heldObjects lists every cached object of the volume with its version, for
+// RENEW_OBJ_LEASES. After a server crash all server-side lease state is
+// gone, so the client reports everything it caches (a superset of Figure
+// 4's expired-lease list; the extra entries simply come back renewed).
+func (c *Client) heldObjects(vid core.VolumeID) []core.HeldObject {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var held []core.HeldObject
+	for oid, o := range c.objs {
+		if o.volume == vid && o.hasData {
+			held = append(held, core.HeldObject{Object: oid, Version: o.version})
+		}
+	}
+	return held
+}
+
+// LeaseInfo reports the client's lease on an object: its cached version and
+// expiry time. ok is false when no copy is cached. Hierarchical caches use
+// it to bound the sub-leases they grant downstream.
+func (c *Client) LeaseInfo(oid core.ObjectID) (version core.Version, expire time.Time, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, found := c.objs[oid]
+	if !found || !o.hasData {
+		return 0, time.Time{}, false
+	}
+	return o.version, o.expire, true
+}
+
+// VolumeLeaseInfo reports the client's lease on a volume: expiry and epoch.
+// ok is false when the client never obtained one.
+func (c *Client) VolumeLeaseInfo(vid core.VolumeID) (expire time.Time, epoch core.Epoch, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, found := c.vols[vid]
+	if !found || !v.known {
+		return time.Time{}, 0, false
+	}
+	return v.expire, v.epoch, true
+}

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// valid reports whether a lease is unexpired at now.
+func (l lease) valid(now time.Time) bool { return l.expire.After(now) }
+
+// HeldObject is one entry of a client's RENEW_OBJ_LEASES message: an object
+// the client caches and the version it holds.
+type HeldObject struct {
+	Object  ObjectID
+	Version Version
+}
+
+// ObjectGrant is the server's OBJ_LEASE response (Figure 3, "Server grants
+// lease for object o"): the current version, the lease expiry, and the data
+// iff the client's copy was out of date.
+type ObjectGrant struct {
+	Object  ObjectID
+	Version Version
+	Expire  time.Time
+	Data    []byte // nil when the client already holds the current version
+}
+
+// GrantObjectLease handles REQ_OBJ_LEASE: grant (or renew) the client's
+// lease on oid and piggyback the data if the client's version is stale.
+func (t *Table) GrantObjectLease(now time.Time, client ClientID, oid ObjectID, clientVersion Version) (ObjectGrant, error) {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return ObjectGrant{}, err
+	}
+	expire := now.Add(t.cfg.ObjectLease)
+	o.at[client] = lease{expire: expire}
+	g := ObjectGrant{Object: oid, Version: o.version, Expire: expire}
+	if clientVersion != o.version {
+		g.Data = append([]byte(nil), o.data...)
+	}
+	return g, nil
+}
+
+// VolumeGrantStatus tells the server how to proceed with a volume-lease
+// request.
+type VolumeGrantStatus int
+
+const (
+	// VolumeGranted: the lease was granted; send VOL_LEASE.
+	VolumeGranted VolumeGrantStatus = iota + 1
+	// VolumePendingInvalidations: the client is in the Inactive set; the
+	// server must deliver the Invalidate list and receive an ack
+	// (ConfirmPendingDelivered) before granting.
+	VolumePendingInvalidations
+	// VolumeNeedsRenewAll: the client is Unreachable or presented a stale
+	// epoch; the server must run the reconnection protocol (MUST_RENEW_ALL,
+	// then HandleRenewObjLeases, then ConfirmReconnect) before granting.
+	VolumeNeedsRenewAll
+)
+
+// String names the status.
+func (s VolumeGrantStatus) String() string {
+	switch s {
+	case VolumeGranted:
+		return "granted"
+	case VolumePendingInvalidations:
+		return "pending-invalidations"
+	case VolumeNeedsRenewAll:
+		return "needs-renew-all"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// VolumeGrant is the outcome of RequestVolumeLease.
+type VolumeGrant struct {
+	Status     VolumeGrantStatus
+	Volume     VolumeID
+	Expire     time.Time  // valid when Status == VolumeGranted
+	Epoch      Epoch      // current volume epoch
+	Invalidate []ObjectID // pending invalidations, when Status == VolumePendingInvalidations
+}
+
+// RequestVolumeLease handles REQ_VOL_LEASE (Figure 3, "Server grants lease
+// for volume v"). Depending on the client's standing it either grants
+// immediately, demands delivery of queued invalidations first, or demands
+// the full reconnection protocol.
+func (t *Table) RequestVolumeLease(now time.Time, client ClientID, vid VolumeID, clientEpoch Epoch) (VolumeGrant, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return VolumeGrant{}, err
+	}
+	t.lazyDiscard(now, v, client)
+	if _, unreachable := v.unreachable[client]; unreachable || clientEpoch != v.epoch {
+		return VolumeGrant{Status: VolumeNeedsRenewAll, Volume: vid, Epoch: v.epoch}, nil
+	}
+	if ia, ok := v.inactive[client]; ok && len(ia.pending) > 0 {
+		return VolumeGrant{
+			Status:     VolumePendingInvalidations,
+			Volume:     vid,
+			Epoch:      v.epoch,
+			Invalidate: sortedObjects(ia.pending),
+		}, nil
+	}
+	return t.grantVolume(now, v, client), nil
+}
+
+// grantVolume installs the lease and returns the granted reply.
+func (t *Table) grantVolume(now time.Time, v *volume, client ClientID) VolumeGrant {
+	expire := now.Add(t.cfg.VolumeLease)
+	v.at[client] = lease{expire: expire}
+	delete(v.volExpiredAt, client)
+	delete(v.inactive, client)
+	return VolumeGrant{Status: VolumeGranted, Volume: v.id, Expire: expire, Epoch: v.epoch}
+}
+
+// ConfirmPendingDelivered records that an Inactive client acknowledged its
+// queued invalidations, then grants the volume lease.
+func (t *Table) ConfirmPendingDelivered(now time.Time, client ClientID, vid VolumeID) (VolumeGrant, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return VolumeGrant{}, err
+	}
+	if ia, ok := v.inactive[client]; ok {
+		ia.pending = nil
+	}
+	return t.grantVolume(now, v, client), nil
+}
+
+// RenewResult is the combined INVALIDATE/RENEW vector of the reconnection
+// protocol: the stale objects the client must drop and fresh leases on the
+// current ones.
+type RenewResult struct {
+	Invalidate []ObjectID
+	Renew      []ObjectGrant // metadata only; Data is never included
+}
+
+// HandleRenewObjLeases processes RENEW_OBJ_LEASES from a reconnecting
+// client (Figure 3, recoverUnreachableClient): objects whose version
+// changed while the client was away are invalidated; the rest get fresh
+// leases.
+func (t *Table) HandleRenewObjLeases(now time.Time, client ClientID, vid VolumeID, held []HeldObject) (RenewResult, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return RenewResult{}, err
+	}
+	var res RenewResult
+	for _, h := range held {
+		o, ok := v.objects[h.Object]
+		if !ok {
+			// Object deleted at the server: invalidate the copy.
+			res.Invalidate = append(res.Invalidate, h.Object)
+			continue
+		}
+		if o.version != h.Version {
+			res.Invalidate = append(res.Invalidate, h.Object)
+			delete(o.at, client)
+			continue
+		}
+		expire := now.Add(t.cfg.ObjectLease)
+		o.at[client] = lease{expire: expire}
+		res.Renew = append(res.Renew, ObjectGrant{Object: h.Object, Version: o.version, Expire: expire})
+	}
+	sort.Slice(res.Invalidate, func(i, j int) bool { return res.Invalidate[i] < res.Invalidate[j] })
+	sort.Slice(res.Renew, func(i, j int) bool { return res.Renew[i].Object < res.Renew[j].Object })
+	return res, nil
+}
+
+// ConfirmReconnect records the client's acknowledgment of the reconnection
+// vector, removes it from the Unreachable set, and grants the volume lease.
+func (t *Table) ConfirmReconnect(now time.Time, client ClientID, vid VolumeID) (VolumeGrant, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return VolumeGrant{}, err
+	}
+	delete(v.unreachable, client)
+	if ia, ok := v.inactive[client]; ok {
+		ia.pending = nil
+		delete(v.inactive, client)
+	}
+	return t.grantVolume(now, v, client), nil
+}
+
+// Invalidation is one client the writing server must notify, with the time
+// at which the server may stop waiting for its acknowledgment: the earlier
+// of the client's volume- and object-lease expiries (Figure 3's
+// min(o.volume.expire, o.expire), applied per client for a tight bound).
+type Invalidation struct {
+	Client      ClientID
+	LeaseExpire time.Time
+}
+
+// WritePlan tells the server what a pending write must do before the data
+// can change: notify every client in Notify and collect acknowledgments
+// until each client acks or its LeaseExpire passes.
+type WritePlan struct {
+	Object ObjectID
+	Notify []Invalidation
+}
+
+// BeginWrite starts a write of oid (Figure 3, "Server writes object o").
+// In ModeEager every valid object-lease holder (not already unreachable) is
+// notified. In ModeDelayed holders whose volume lease has expired are
+// instead moved to the Inactive set with the invalidation queued.
+func (t *Table) BeginWrite(now time.Time, oid ObjectID) (WritePlan, error) {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return WritePlan{}, err
+	}
+	if t.writeFence.After(now) {
+		return WritePlan{}, fmt.Errorf("%w (until %v)", ErrWriteFenced, t.writeFence)
+	}
+	v := o.vol
+	plan := WritePlan{Object: oid}
+	for client, ol := range o.at {
+		if !ol.valid(now) {
+			delete(o.at, client)
+			continue
+		}
+		if _, unreachable := v.unreachable[client]; unreachable {
+			// Figure 3 skips unreachable clients: they will resynchronize
+			// through the reconnection protocol.
+			delete(o.at, client)
+			continue
+		}
+		vl, hasVol := v.at[client]
+		volValid := hasVol && vl.valid(now)
+		if t.cfg.Mode == ModeDelayed && !volValid {
+			t.queuePending(now, v, client, oid, vl, hasVol)
+			delete(o.at, client)
+			continue
+		}
+		// Figure 3's wait bound is min(o.volume.expire, o.expire): the
+		// server may write once EITHER lease has expired. A client whose
+		// volume lease already lapsed therefore contributes a bound in the
+		// past (no wait) even though it is still notified.
+		bound := ol.expire
+		if volBound, known := volumeBound(v, client, vl, hasVol); known && volBound.Before(bound) {
+			bound = volBound
+		}
+		plan.Notify = append(plan.Notify, Invalidation{Client: client, LeaseExpire: bound})
+	}
+	sort.Slice(plan.Notify, func(i, j int) bool { return plan.Notify[i].Client < plan.Notify[j].Client })
+	return plan, nil
+}
+
+// volumeBound reports when the client's volume lease expires (or expired):
+// from the live lease record if present, else from the expiry log. Unknown
+// when the client never held a volume lease here.
+func volumeBound(v *volume, client ClientID, vl lease, hasVol bool) (time.Time, bool) {
+	if hasVol {
+		return vl.expire, true
+	}
+	if at, ok := v.volExpiredAt[client]; ok {
+		return at, true
+	}
+	return time.Time{}, false
+}
+
+// queuePending moves a volume-expired client to the Inactive set and queues
+// the invalidation, unless the discard window has already elapsed, in which
+// case the client goes straight to Unreachable.
+func (t *Table) queuePending(now time.Time, v *volume, client ClientID, oid ObjectID, vl lease, hasVol bool) {
+	// If the expiry time is unknowable (the client never held a volume
+	// lease here), the zero since conservatively routes it straight to the
+	// Unreachable set when a discard window is configured.
+	since, _ := volumeBound(v, client, vl, hasVol)
+	if t.cfg.InactiveDiscard > 0 && !now.Before(since.Add(t.cfg.InactiveDiscard)) {
+		v.unreachable[client] = struct{}{}
+		delete(v.inactive, client)
+		return
+	}
+	ia, ok := v.inactive[client]
+	if !ok {
+		ia = &inactiveState{pending: make(map[ObjectID]struct{}), since: since}
+		v.inactive[client] = ia
+	}
+	if ia.pending == nil {
+		ia.pending = make(map[ObjectID]struct{})
+	}
+	ia.pending[oid] = struct{}{}
+}
+
+// AckWriteInvalidate records a client's ACK_INVALIDATE for oid during a
+// write: the client has dropped its copy, so its object lease is released.
+func (t *Table) AckWriteInvalidate(now time.Time, client ClientID, oid ObjectID) error {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return err
+	}
+	delete(o.at, client)
+	return nil
+}
+
+// FinishWrite completes the write: clients that never acknowledged are
+// moved to the volume's Unreachable set (their leases are dropped), the
+// version is incremented, and the data installed.
+func (t *Table) FinishWrite(now time.Time, oid ObjectID, data []byte, unacked []ClientID) (Version, error) {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return 0, err
+	}
+	v := o.vol
+	for _, client := range unacked {
+		v.unreachable[client] = struct{}{}
+		delete(v.inactive, client)
+		delete(o.at, client)
+		delete(v.at, client)
+	}
+	o.version++
+	o.data = append(o.data[:0], data...)
+	return o.version, nil
+}
+
+// Read returns the object's current version and data (a server-local read).
+func (t *Table) Read(oid ObjectID) (Version, []byte, error) {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return 0, nil, err
+	}
+	return o.version, append([]byte(nil), o.data...), nil
+}
+
+// VolumeEpoch reports the volume's epoch.
+func (t *Table) VolumeEpoch(vid VolumeID) (Epoch, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return 0, err
+	}
+	return v.epoch, nil
+}
+
+// Objects lists the volume's object ids, sorted.
+func (t *Table) Objects(vid VolumeID) ([]ObjectID, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectID, 0, len(v.objects))
+	for oid := range v.objects {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Volumes lists all volume ids, sorted.
+func (t *Table) Volumes() []VolumeID {
+	out := make([]VolumeID, 0, len(t.volumes))
+	for vid := range t.volumes {
+		out = append(out, vid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VolumeOfObject reports which volume holds oid.
+func (t *Table) VolumeOfObject(oid ObjectID) (VolumeID, error) {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return "", err
+	}
+	return o.vol.id, nil
+}
+
+// lazyDiscard applies the InactiveDiscard policy to one client on demand:
+// if its pending list has outlived d, drop it and mark the client
+// unreachable (it has now provably missed invalidations).
+func (t *Table) lazyDiscard(now time.Time, v *volume, client ClientID) {
+	if t.cfg.Mode != ModeDelayed || t.cfg.InactiveDiscard <= 0 {
+		return
+	}
+	ia, ok := v.inactive[client]
+	if !ok {
+		return
+	}
+	if !now.Before(ia.since.Add(t.cfg.InactiveDiscard)) {
+		if len(ia.pending) > 0 {
+			v.unreachable[client] = struct{}{}
+		}
+		delete(v.inactive, client)
+		// Remaining object leases are dropped: the server has stopped
+		// tracking this client.
+		for _, o := range v.objects {
+			if _, held := o.at[client]; held {
+				delete(o.at, client)
+				v.unreachable[client] = struct{}{}
+			}
+		}
+	}
+}
+
+// Sweep removes expired leases, logs volume-lease expiry times for the
+// inactivity clock, and applies the InactiveDiscard policy table-wide. The
+// networked server calls it periodically; tests call it directly. It
+// returns the number of records removed.
+func (t *Table) Sweep(now time.Time) int {
+	removed := 0
+	for _, v := range t.volumes {
+		for client, l := range v.at {
+			if !l.valid(now) {
+				delete(v.at, client)
+				v.volExpiredAt[client] = l.expire
+				removed++
+			}
+		}
+		for _, o := range v.objects {
+			for client, l := range o.at {
+				if !l.valid(now) {
+					delete(o.at, client)
+					removed++
+				}
+			}
+		}
+		if t.cfg.Mode == ModeDelayed && t.cfg.InactiveDiscard > 0 {
+			for client := range v.inactive {
+				t.lazyDiscard(now, v, client)
+			}
+		}
+		// Trim the expiry log for clients that are fully forgotten.
+		for client, at := range v.volExpiredAt {
+			if now.Sub(at) > 24*time.Hour {
+				delete(v.volExpiredAt, client)
+			}
+		}
+	}
+	return removed
+}
+
+// Recover simulates a server reboot (Section 3.1.2): all lease,
+// reachability, and pending state is discarded, every volume's epoch is
+// incremented, and writes are fenced for one full volume-lease duration so
+// that every lease granted before the crash has provably expired. Object
+// data and versions survive (they live on stable storage).
+func (t *Table) Recover(now time.Time) {
+	for _, v := range t.volumes {
+		v.epoch++
+		v.at = make(map[ClientID]lease)
+		v.unreachable = make(map[ClientID]struct{})
+		v.inactive = make(map[ClientID]*inactiveState)
+		v.volExpiredAt = make(map[ClientID]time.Time)
+		for _, o := range v.objects {
+			o.at = make(map[ClientID]lease)
+		}
+	}
+	t.writeFence = now.Add(t.cfg.VolumeLease)
+}
+
+// WriteFence reports until when writes are blocked after recovery.
+func (t *Table) WriteFence() time.Time { return t.writeFence }
+
+// Stats summarizes the table's consistency state using the paper's
+// accounting: RecordBytes per lease, queued invalidation, or
+// reachability-set entry.
+type Stats struct {
+	Volumes             int
+	Objects             int
+	ObjectLeases        int
+	VolumeLeases        int
+	PendingInvalidation int
+	InactiveClients     int
+	UnreachableClients  int
+	StateBytes          int64
+}
+
+// RecordBytes is the per-record charge used by Stats, matching the paper's
+// Figure 6/7 accounting.
+const RecordBytes = 16
+
+// Stats computes current counts; only leases valid at now are counted.
+func (t *Table) Stats(now time.Time) Stats {
+	var s Stats
+	s.Volumes = len(t.volumes)
+	for _, v := range t.volumes {
+		s.Objects += len(v.objects)
+		for _, l := range v.at {
+			if l.valid(now) {
+				s.VolumeLeases++
+			}
+		}
+		for _, o := range v.objects {
+			for _, l := range o.at {
+				if l.valid(now) {
+					s.ObjectLeases++
+				}
+			}
+		}
+		for _, ia := range v.inactive {
+			s.InactiveClients++
+			s.PendingInvalidation += len(ia.pending)
+		}
+		s.UnreachableClients += len(v.unreachable)
+	}
+	records := s.ObjectLeases + s.VolumeLeases + s.PendingInvalidation +
+		s.InactiveClients + s.UnreachableClients
+	s.StateBytes = int64(records) * RecordBytes
+	return s
+}
+
+// sortedObjects returns the set's members sorted.
+func sortedObjects(set map[ObjectID]struct{}) []ObjectID {
+	out := make([]ObjectID, 0, len(set))
+	for oid := range set {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VolumeStats computes Stats restricted to one volume.
+func (t *Table) VolumeStats(now time.Time, vid VolumeID) (Stats, error) {
+	v, err := t.volumeOf(vid)
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	s.Volumes = 1
+	s.Objects = len(v.objects)
+	for _, l := range v.at {
+		if l.valid(now) {
+			s.VolumeLeases++
+		}
+	}
+	for _, o := range v.objects {
+		for _, l := range o.at {
+			if l.valid(now) {
+				s.ObjectLeases++
+			}
+		}
+	}
+	for _, ia := range v.inactive {
+		s.InactiveClients++
+		s.PendingInvalidation += len(ia.pending)
+	}
+	s.UnreachableClients = len(v.unreachable)
+	records := s.ObjectLeases + s.VolumeLeases + s.PendingInvalidation +
+		s.InactiveClients + s.UnreachableClients
+	s.StateBytes = int64(records) * RecordBytes
+	return s, nil
+}
+
+// InstallVersion is FinishWrite for caches that mirror another server's
+// version numbers (hierarchical proxies, internal/proxy): instead of
+// incrementing, it installs the given absolute version. Versions must be
+// monotone; installing a version at or below the current one fails.
+func (t *Table) InstallVersion(now time.Time, oid ObjectID, data []byte, version Version, unacked []ClientID) error {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return err
+	}
+	if version <= o.version {
+		return fmt.Errorf("core: InstallVersion %d not above current %d for %q", version, o.version, oid)
+	}
+	v := o.vol
+	for _, client := range unacked {
+		v.unreachable[client] = struct{}{}
+		delete(v.inactive, client)
+		delete(o.at, client)
+		delete(v.at, client)
+	}
+	o.version = version
+	o.data = append(o.data[:0], data...)
+	return nil
+}
+
+// CreateObjectAt registers an object with an explicit initial version,
+// for caches that mirror an upstream server's numbering.
+func (t *Table) CreateObjectAt(vid VolumeID, oid ObjectID, data []byte, version Version) error {
+	if version < 1 {
+		return fmt.Errorf("core: CreateObjectAt %q: version %d < 1", oid, version)
+	}
+	if err := t.CreateObject(vid, oid, data); err != nil {
+		return err
+	}
+	t.objects[oid].version = version
+	return nil
+}
+
+// MarkStale records that the local copy of oid no longer reflects the
+// authoritative data without assigning the new version yet (hierarchical
+// caches learn the version only when they refetch): the data is dropped,
+// and clients that failed to acknowledge the invalidation move to the
+// Unreachable set. The version is left unchanged so a later InstallVersion
+// with the upstream's number stays monotone.
+func (t *Table) MarkStale(now time.Time, oid ObjectID, unacked []ClientID) error {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return err
+	}
+	v := o.vol
+	for _, client := range unacked {
+		v.unreachable[client] = struct{}{}
+		delete(v.inactive, client)
+		delete(o.at, client)
+		delete(v.at, client)
+	}
+	o.data = nil
+	return nil
+}
+
+// RestoreData re-installs data for an object whose copy was dropped by
+// MarkStale but whose version turned out unchanged (a benign refetch race
+// in hierarchical caches). The version is not modified.
+func (t *Table) RestoreData(oid ObjectID, data []byte) error {
+	o, err := t.lookup(oid)
+	if err != nil {
+		return err
+	}
+	o.data = append([]byte(nil), data...)
+	return nil
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestPropertyReadsNeverStale drives a Table with a random operation
+// sequence and checks the protocol's central invariant: a client that holds
+// valid object AND volume leases always holds the current version. The
+// client-side lease validity is modeled exactly as the protocol defines it
+// (granted expiry vs. current time), and server writes follow the full
+// BeginWrite / ack-or-timeout / FinishWrite path.
+func TestPropertyReadsNeverStale(t *testing.T) {
+	f := func(seed int64) bool {
+		return !runRandomProtocol(t, seed, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyReadsNeverStaleDelayed runs the same invariant in delayed
+// mode with a finite discard window.
+func TestPropertyReadsNeverStaleDelayed(t *testing.T) {
+	f := func(seed int64) bool {
+		return !runRandomProtocol(t, seed, true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clientModel is the client-side view one simulated client maintains.
+type clientModel struct {
+	volExpire time.Time
+	epoch     Epoch
+	hasEpoch  bool
+	objs      map[ObjectID]*clientObj
+}
+
+type clientObj struct {
+	version Version
+	expire  time.Time
+	hasData bool
+}
+
+// runRandomProtocol returns true if a consistency violation was found.
+func runRandomProtocol(t *testing.T, seed int64, delayed bool) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		ObjectLease: time.Duration(10+rng.Intn(200)) * time.Second,
+		VolumeLease: time.Duration(1+rng.Intn(30)) * time.Second,
+		Mode:        ModeEager,
+	}
+	if delayed {
+		cfg.Mode = ModeDelayed
+		if rng.Intn(2) == 0 {
+			cfg.InactiveDiscard = time.Duration(5+rng.Intn(60)) * time.Second
+		}
+	}
+	tb, err := NewTable(cfg)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	if err := tb.CreateVolume("v"); err != nil {
+		t.Fatal(err)
+	}
+	objects := []ObjectID{"a", "b", "c"}
+	for _, o := range objects {
+		if err := tb.CreateObject("v", o, []byte("init")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	clients := map[ClientID]*clientModel{}
+	for i := 0; i < 3; i++ {
+		clients[ClientID(fmt.Sprintf("c%d", i))] = &clientModel{objs: map[ObjectID]*clientObj{}}
+	}
+	// reachable[c] == false models a partitioned client that cannot be
+	// invalidated and does not ack.
+	reachable := map[ClientID]bool{"c0": true, "c1": true, "c2": true}
+
+	now := clock.At(0)
+	for step := 0; step < 300; step++ {
+		now = now.Add(time.Duration(rng.Intn(8000)) * time.Millisecond)
+		cid := ClientID(fmt.Sprintf("c%d", rng.Intn(3)))
+		cm := clients[cid]
+		oid := objects[rng.Intn(len(objects))]
+
+		switch op := rng.Intn(10); {
+		case op < 4: // client read
+			if !reachable[cid] {
+				// A partitioned client can only read from cache, and only
+				// under both valid leases — the invariant check below.
+				checkInvariant(t, tb, cid, cm, oid, now)
+				continue
+			}
+			// Renew volume if needed.
+			if !cm.volExpire.After(now) {
+				if !renewVolume(t, tb, cid, cm, now) {
+					continue
+				}
+			}
+			// Renew object lease if needed.
+			co := cm.objs[oid]
+			if co == nil || !co.expire.After(now) || !co.hasData {
+				ver := Version(NoVersion)
+				if co != nil && co.hasData {
+					ver = co.version
+				}
+				g, err := tb.GrantObjectLease(now, cid, oid, ver)
+				if err != nil {
+					t.Fatalf("GrantObjectLease: %v", err)
+				}
+				if co == nil {
+					co = &clientObj{}
+					cm.objs[oid] = co
+				}
+				co.expire = g.Expire
+				co.version = g.Version
+				co.hasData = true
+			}
+			checkInvariant(t, tb, cid, cm, oid, now)
+
+		case op < 7: // server write
+			plan, err := tb.BeginWrite(now, oid)
+			if err != nil {
+				continue // write fence, etc.
+			}
+			var unacked []ClientID
+			for _, inv := range plan.Notify {
+				target := clients[inv.Client]
+				if reachable[inv.Client] {
+					// Client processes INVALIDATE: drop data and lease.
+					if co := target.objs[oid]; co != nil {
+						co.hasData = false
+						co.expire = time.Time{}
+					}
+					if err := tb.AckWriteInvalidate(now, inv.Client, oid); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					// The server waits out min(vol,obj) — advance time past
+					// the bound, then treats the client as unreachable.
+					if inv.LeaseExpire.After(now) {
+						now = inv.LeaseExpire.Add(time.Millisecond)
+					}
+					unacked = append(unacked, inv.Client)
+				}
+			}
+			if _, err := tb.FinishWrite(now, oid, []byte(fmt.Sprintf("w%d", step)), unacked); err != nil {
+				t.Fatal(err)
+			}
+
+		case op < 8: // partition / heal a client
+			reachable[cid] = !reachable[cid]
+
+		case op < 9: // sweep
+			tb.Sweep(now)
+
+		default: // server crash-reboot (rare)
+			if rng.Intn(4) == 0 {
+				tb.Recover(now)
+			}
+		}
+	}
+	return false // invariant violations fail the test directly
+}
+
+// renewVolume walks the client through whatever the server demands,
+// returning false if the renewal cannot complete.
+func renewVolume(t *testing.T, tb *Table, cid ClientID, cm *clientModel, now time.Time) bool {
+	t.Helper()
+	epoch := NoEpoch
+	if cm.hasEpoch {
+		epoch = cm.epoch
+	}
+	g, err := tb.RequestVolumeLease(now, cid, "v", epoch)
+	if err != nil {
+		t.Fatalf("RequestVolumeLease: %v", err)
+	}
+	switch g.Status {
+	case VolumeGranted:
+	case VolumePendingInvalidations:
+		for _, oid := range g.Invalidate {
+			if co := cm.objs[oid]; co != nil {
+				co.hasData = false
+				co.expire = time.Time{}
+			}
+		}
+		g, err = tb.ConfirmPendingDelivered(now, cid, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+	case VolumeNeedsRenewAll:
+		var held []HeldObject
+		for oid, co := range cm.objs {
+			if co.hasData {
+				held = append(held, HeldObject{Object: oid, Version: co.version})
+			}
+		}
+		res, err := tb.HandleRenewObjLeases(now, cid, "v", held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, oid := range res.Invalidate {
+			if co := cm.objs[oid]; co != nil {
+				co.hasData = false
+				co.expire = time.Time{}
+			}
+		}
+		for _, r := range res.Renew {
+			if co := cm.objs[r.Object]; co != nil && co.hasData && co.version == r.Version {
+				co.expire = r.Expire
+			}
+		}
+		g, err = tb.ConfirmReconnect(now, cid, "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Status != VolumeGranted {
+		return false
+	}
+	cm.volExpire = g.Expire
+	cm.epoch = g.Epoch
+	cm.hasEpoch = true
+	return true
+}
+
+// checkInvariant asserts: both leases valid && data cached => the cached
+// version is the server's current version.
+func checkInvariant(t *testing.T, tb *Table, cid ClientID, cm *clientModel, oid ObjectID, now time.Time) {
+	t.Helper()
+	co := cm.objs[oid]
+	if co == nil || !co.hasData {
+		return
+	}
+	if !cm.volExpire.After(now) || !co.expire.After(now) {
+		return // protocol forbids the read; nothing to check
+	}
+	serverVer, _, err := tb.Read(oid)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if co.version != serverVer {
+		t.Fatalf("STALE READ: client %s reads %s version %d under valid leases; server at %d (now=%v vol=%v obj=%v)",
+			cid, oid, co.version, serverVer, now, cm.volExpire, co.expire)
+	}
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyHistogram records operation latencies in logarithmic buckets
+// (~8% resolution) so load tools can report stable quantiles without
+// retaining every sample. It is safe for concurrent use.
+type LatencyHistogram struct {
+	mu      sync.Mutex
+	buckets map[int]int64 // bucket index -> count
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewLatencyHistogram returns an empty histogram.
+func NewLatencyHistogram() *LatencyHistogram {
+	return &LatencyHistogram{buckets: make(map[int]int64)}
+}
+
+// growth is the per-bucket multiplier: buckets are [g^i, g^(i+1)) ns.
+const growth = 1.08
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := float64(d.Nanoseconds())
+	if ns < 1 {
+		return 0
+	}
+	return int(math.Log(ns) / math.Log(growth))
+}
+
+// bucketLow returns the lower bound of a bucket.
+func bucketLow(idx int) time.Duration {
+	return time.Duration(math.Pow(growth, float64(idx)))
+}
+
+// Observe records one latency sample.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of samples.
+func (h *LatencyHistogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean reports the average latency.
+func (h *LatencyHistogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max reports the largest observed latency.
+func (h *LatencyHistogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile reports an upper bound for the p-quantile (0 < p <= 1), accurate
+// to the bucket resolution (~8%).
+func (h *LatencyHistogram) Quantile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	idxs := make([]int, 0, len(h.buckets))
+	for idx := range h.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var seen int64
+	for _, idx := range idxs {
+		seen += h.buckets[idx]
+		if seen >= target {
+			upper := bucketLow(idx + 1)
+			if upper > h.max {
+				upper = h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *LatencyHistogram) Merge(other *LatencyHistogram) {
+	other.mu.Lock()
+	snapshot := make(map[int]int64, len(other.buckets))
+	for idx, n := range other.buckets {
+		snapshot[idx] = n
+	}
+	count, sum, max := other.count, other.sum, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for idx, n := range snapshot {
+		h.buckets[idx] += n
+	}
+	h.count += count
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+}
+
+// WriteSummary prints a one-line summary: count, mean, p50/p95/p99, max.
+func (h *LatencyHistogram) WriteSummary(w io.Writer, label string) error {
+	_, err := fmt.Fprintf(w, "%-14s n=%-8d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v\n",
+		label, h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+	return err
+}

@@ -1,0 +1,267 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestCounterAdd(t *testing.T) {
+	var c Counter
+	c.Add(MsgInvalidate, 40)
+	c.Add(MsgInvalidate, 40)
+	c.Add(MsgObjLease, 100)
+	if c.Messages != 3 {
+		t.Errorf("Messages = %d, want 3", c.Messages)
+	}
+	if c.Bytes != 180 {
+		t.Errorf("Bytes = %d, want 180", c.Bytes)
+	}
+	if c.ByClass[MsgInvalidate] != 2 || c.ByClass[MsgObjLease] != 1 {
+		t.Errorf("ByClass wrong: %v", c.ByClass)
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	var a, b Counter
+	a.Add(MsgData, 1000)
+	b.Add(MsgData, 500)
+	b.Add(MsgVolLease, 20)
+	a.Merge(b)
+	if a.Messages != 3 || a.Bytes != 1520 {
+		t.Errorf("after merge: %d msgs %d bytes, want 3 / 1520", a.Messages, a.Bytes)
+	}
+	if a.ByClass[MsgData] != 2 {
+		t.Errorf("ByClass[data] = %d, want 2", a.ByClass[MsgData])
+	}
+}
+
+func TestMsgClassString(t *testing.T) {
+	if MsgInvalidate.String() != "invalidate" {
+		t.Errorf("String() = %q", MsgInvalidate.String())
+	}
+	if got := MsgClass(99).String(); got != "msgclass(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestLoadHistogramBasics(t *testing.T) {
+	h := NewLoadHistogram()
+	t0 := clock.At(100)
+	h.Observe(t0, 3)
+	h.Observe(t0.Add(500*time.Millisecond), 2) // same second bucket
+	h.Observe(t0.Add(time.Second), 1)
+	h.Observe(t0.Add(2*time.Second), 0) // ignored
+	if got := h.Peak(); got != 5 {
+		t.Errorf("Peak = %d, want 5", got)
+	}
+	if got := h.BusySeconds(); got != 2 {
+		t.Errorf("BusySeconds = %d, want 2", got)
+	}
+}
+
+func TestLoadHistogramCumulativePoint(t *testing.T) {
+	h := NewLoadHistogram()
+	for i, n := range []int{5, 1, 3, 3} {
+		h.Observe(clock.At(float64(i)), n)
+	}
+	cases := []struct{ x, want int }{
+		{1, 4}, {2, 3}, {3, 3}, {4, 1}, {5, 1}, {6, 0},
+	}
+	for _, c := range cases {
+		if got := h.CumulativePoint(c.x); got != c.want {
+			t.Errorf("CumulativePoint(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLoadHistogramCumulative(t *testing.T) {
+	h := NewLoadHistogram()
+	for i, n := range []int{5, 1, 3, 3} {
+		h.Observe(clock.At(float64(i)), n)
+	}
+	loads, periods := h.Cumulative()
+	wantLoads := []int{1, 3, 5}
+	wantPeriods := []int{4, 3, 1}
+	if len(loads) != len(wantLoads) {
+		t.Fatalf("loads = %v, want %v", loads, wantLoads)
+	}
+	for i := range loads {
+		if loads[i] != wantLoads[i] || periods[i] != wantPeriods[i] {
+			t.Errorf("point %d = (%d,%d), want (%d,%d)",
+				i, loads[i], periods[i], wantLoads[i], wantPeriods[i])
+		}
+	}
+}
+
+func TestLoadHistogramCumulativeEmpty(t *testing.T) {
+	h := NewLoadHistogram()
+	loads, periods := h.Cumulative()
+	if loads != nil || periods != nil {
+		t.Errorf("empty Cumulative = %v %v, want nil nil", loads, periods)
+	}
+}
+
+func TestLoadHistogramMerge(t *testing.T) {
+	a, b := NewLoadHistogram(), NewLoadHistogram()
+	a.Observe(clock.At(0), 2)
+	b.Observe(clock.At(0), 3)
+	b.Observe(clock.At(1), 1)
+	a.Merge(b)
+	if got := a.Peak(); got != 5 {
+		t.Errorf("merged Peak = %d, want 5", got)
+	}
+	if got := a.BusySeconds(); got != 2 {
+		t.Errorf("merged BusySeconds = %d, want 2", got)
+	}
+}
+
+func TestStateTrackerAverage(t *testing.T) {
+	var st StateTracker
+	st.Set(clock.At(0), 100)
+	st.Set(clock.At(10), 200) // 100 bytes for 10s
+	st.Set(clock.At(20), 0)   // 200 bytes for 10s
+	// average over [0, 30]: (1000 + 2000 + 0) / 30 = 100
+	if got := st.Average(clock.At(30)); got != 100 {
+		t.Errorf("Average = %v, want 100", got)
+	}
+	if st.Peak() != 200 {
+		t.Errorf("Peak = %d, want 200", st.Peak())
+	}
+	if st.Current() != 0 {
+		t.Errorf("Current = %d, want 0", st.Current())
+	}
+}
+
+func TestStateTrackerAdjust(t *testing.T) {
+	var st StateTracker
+	st.Set(clock.At(0), 16)
+	st.Adjust(clock.At(5), 16)
+	st.Adjust(clock.At(10), -32)
+	// [0,5): 16, [5,10): 32 -> integral 80+160 = 240 over 10s = 24
+	if got := st.Average(clock.At(10)); got != 24 {
+		t.Errorf("Average = %v, want 24", got)
+	}
+}
+
+func TestStateTrackerEmptyAndDegenerate(t *testing.T) {
+	var st StateTracker
+	if got := st.Average(clock.At(100)); got != 0 {
+		t.Errorf("empty Average = %v, want 0", got)
+	}
+	st.Set(clock.At(5), 48)
+	if got := st.Average(clock.At(5)); got != 48 {
+		t.Errorf("zero-span Average = %v, want last size 48", got)
+	}
+}
+
+func TestStateTrackerClampBackwardsTime(t *testing.T) {
+	var st StateTracker
+	st.Set(clock.At(10), 100)
+	st.Set(clock.At(5), 200) // time clamped; size updated
+	st.Set(clock.At(20), 0)  // 200 bytes over [10,20]
+	if got := st.Average(clock.At(20)); got != 200 {
+		t.Errorf("Average = %v, want 200", got)
+	}
+}
+
+func TestRecorderMessageAndServers(t *testing.T) {
+	r := NewRecorder()
+	r.Message("s1", MsgObjLeaseReq, 20, clock.At(0))
+	r.Message("s1", MsgObjLease, 20, clock.At(0))
+	r.Message("s2", MsgInvalidate, 20, clock.At(1))
+	tot := r.Totals()
+	if tot.Messages != 3 || tot.Bytes != 60 {
+		t.Errorf("Totals = %+v", tot)
+	}
+	names := r.Servers()
+	if len(names) != 2 || names[0] != "s1" || names[1] != "s2" {
+		t.Errorf("Servers = %v, want [s1 s2]", names)
+	}
+	ss, ok := r.Server("s1")
+	if !ok || ss.Counter.Messages != 2 {
+		t.Errorf("Server(s1) = %+v ok=%v", ss, ok)
+	}
+	if ss.Load.Peak() != 2 {
+		t.Errorf("s1 load peak = %d, want 2", ss.Load.Peak())
+	}
+}
+
+func TestRecorderServersTieBreakByName(t *testing.T) {
+	r := NewRecorder()
+	r.Message("b", MsgData, 1, clock.At(0))
+	r.Message("a", MsgData, 1, clock.At(0))
+	names := r.Servers()
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("tie-break order = %v, want [a b]", names)
+	}
+}
+
+func TestRecorderReadsAndStaleRate(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 9; i++ {
+		r.Read(false)
+	}
+	r.Read(true)
+	reads, stale := r.ReadStats()
+	if reads != 10 || stale != 1 {
+		t.Errorf("ReadStats = %d/%d, want 10/1", reads, stale)
+	}
+	if got := r.StaleRate(); got != 0.1 {
+		t.Errorf("StaleRate = %v, want 0.1", got)
+	}
+}
+
+func TestRecorderStaleRateNoReads(t *testing.T) {
+	r := NewRecorder()
+	if got := r.StaleRate(); got != 0 {
+		t.Errorf("StaleRate = %v, want 0", got)
+	}
+}
+
+func TestRecorderWriteStats(t *testing.T) {
+	r := NewRecorder()
+	r.Write(0)
+	r.Write(10 * time.Second)
+	writes, mean, max := r.WriteStats()
+	if writes != 2 || mean != 5*time.Second || max != 10*time.Second {
+		t.Errorf("WriteStats = %d %v %v", writes, mean, max)
+	}
+}
+
+func TestRecorderStateTracking(t *testing.T) {
+	r := NewRecorder()
+	r.SetState("s", clock.At(0), 160)
+	r.AdjustState("s", clock.At(10), -160)
+	ss, _ := r.Server("s")
+	if got := ss.State.Average(clock.At(20)); got != 80 {
+		t.Errorf("state average = %v, want 80", got)
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Message("s", MsgData, 1, clock.At(float64(i)))
+				r.Read(i%10 == 0)
+				r.Write(time.Duration(i))
+				r.AdjustState("s", clock.At(float64(i)), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tot := r.Totals(); tot.Messages != 8000 {
+		t.Errorf("Totals.Messages = %d, want 8000", tot.Messages)
+	}
+	reads, stale := r.ReadStats()
+	if reads != 8000 || stale != 800 {
+		t.Errorf("ReadStats = %d/%d, want 8000/800", reads, stale)
+	}
+}

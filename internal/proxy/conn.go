@@ -1,0 +1,411 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// pconn is one downstream client connection.
+type pconn struct {
+	id   core.ClientID
+	conn transport.Conn
+
+	mu       sync.Mutex
+	renewals map[uint64]*renewal
+}
+
+type renewal struct {
+	volume core.VolumeID
+	stage  renewalStage
+}
+
+type renewalStage int
+
+const (
+	stageAwaitHeld renewalStage = iota + 1
+	stageAwaitReconnectAck
+)
+
+func (pc *pconn) setRenewal(seq uint64, r *renewal) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.renewals[seq] = r
+}
+
+func (pc *pconn) takeRenewal(seq uint64, remove bool) (*renewal, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	r, ok := pc.renewals[seq]
+	if ok && remove {
+		delete(pc.renewals, seq)
+	}
+	return r, ok
+}
+
+// sendInvalidate pushes a seq-0 invalidation downstream.
+func (pc *pconn) sendInvalidate(oid core.ObjectID) {
+	_ = pc.conn.Send(wire.Invalidate{Objects: []core.ObjectID{oid}})
+}
+
+// acceptLoop admits downstream connections.
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.serveConn(conn)
+	}
+}
+
+// serveConn owns one downstream connection.
+func (p *Proxy) serveConn(conn transport.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := first.(wire.Hello)
+	if !ok || hello.Client == "" {
+		_ = conn.Send(wire.Error{Code: wire.ErrCodeBadRequest, Msg: "expected Hello"})
+		return
+	}
+	pc := &pconn{id: hello.Client, conn: conn, renewals: make(map[uint64]*renewal)}
+
+	p.mu.Lock()
+	if old, exists := p.conns[pc.id]; exists {
+		old.conn.Close()
+	}
+	p.conns[pc.id] = pc
+	p.mu.Unlock()
+	p.logf("downstream %s connected", pc.id)
+
+	defer func() {
+		p.mu.Lock()
+		if p.conns[pc.id] == pc {
+			delete(p.conns, pc.id)
+		}
+		p.mu.Unlock()
+	}()
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if err := p.dispatch(pc, m); err != nil {
+			p.logf("downstream %s: %v", pc.id, err)
+			return
+		}
+	}
+}
+
+func (p *Proxy) dispatch(pc *pconn, m wire.Message) error {
+	switch v := m.(type) {
+	case wire.ReqObjLease:
+		// Lease requests may fetch from upstream (blocking); keep the
+		// reader free for acknowledgments.
+		go p.handleReqObjLease(pc, v)
+		return nil
+	case wire.ReqVolLease:
+		go p.handleReqVolLease(pc, v)
+		return nil
+	case wire.RenewObjLeases:
+		// May refresh from upstream (blocking); keep the reader free.
+		go p.handleRenewObjLeases(pc, v)
+		return nil
+	case wire.AckInvalidate:
+		return p.handleAckInvalidate(pc, v)
+	case wire.WriteReq:
+		go p.handleWriteReq(pc, v)
+		return nil
+	case wire.Hello:
+		return errors.New("duplicate Hello")
+	default:
+		return fmt.Errorf("unexpected message %s", m.Kind())
+	}
+}
+
+// capped returns the earlier of a nominal expiry and an upstream bound
+// reduced by the skew margin.
+func (p *Proxy) capped(nominal, upstream time.Time) time.Time {
+	bound := upstream.Add(-p.cfg.Skew)
+	if bound.Before(nominal) {
+		return bound
+	}
+	return nominal
+}
+
+// handleReqVolLease grants a downstream volume sub-lease capped by the
+// proxy's upstream volume lease.
+func (p *Proxy) handleReqVolLease(pc *pconn, req wire.ReqVolLease) {
+	if req.Volume != p.cfg.Volume {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeNoSuchVolume,
+			Msg: fmt.Sprintf("proxy serves %q", p.cfg.Volume)})
+		return
+	}
+	// Same rule as the server: no fresh volume lease while this client has
+	// an invalidation acknowledgment outstanding (the pending round's wait
+	// bound predates any renewal we would grant now).
+	p.mu.Lock()
+	var pendingChans []chan struct{}
+	for key, ch := range p.acks {
+		if key.client == pc.id {
+			pendingChans = append(pendingChans, ch)
+		}
+	}
+	p.mu.Unlock()
+	if len(pendingChans) > 0 {
+		for _, ch := range pendingChans {
+			select {
+			case <-ch:
+			case <-p.closed:
+				return
+			}
+		}
+		p.handleReqVolLease(pc, req) // re-evaluate with fresh standing
+		return
+	}
+	upExpire, err := p.ensureUpstreamVolume()
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown,
+			Msg: "upstream unavailable: " + err.Error()})
+		return
+	}
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	g, err := p.table.RequestVolumeLease(now, pc.id, req.Volume, req.Epoch)
+	p.mu.Unlock()
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown, Msg: err.Error()})
+		return
+	}
+	switch g.Status {
+	case core.VolumeGranted:
+		_ = pc.conn.Send(wire.VolLease{
+			Seq: req.Seq, Volume: g.Volume,
+			Expire: p.capped(g.Expire, upExpire), Epoch: g.Epoch,
+		})
+	case core.VolumeNeedsRenewAll:
+		pc.setRenewal(req.Seq, &renewal{volume: req.Volume, stage: stageAwaitHeld})
+		_ = pc.conn.Send(wire.MustRenewAll{Seq: req.Seq, Volume: req.Volume, Epoch: g.Epoch})
+	default:
+		// ModeEager tables never produce pending-invalidation grants.
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown,
+			Msg: fmt.Sprintf("unexpected grant status %v", g.Status)})
+	}
+}
+
+// ensureUpstreamVolume makes sure the proxy holds a live upstream volume
+// lease and returns its expiry.
+func (p *Proxy) ensureUpstreamVolume() (time.Time, error) {
+	if !p.up.HasVolumeLease(p.cfg.Volume) {
+		if err := p.up.RenewVolume(p.cfg.Volume); err != nil {
+			return time.Time{}, err
+		}
+	}
+	expire, _, ok := p.up.VolumeLeaseInfo(p.cfg.Volume)
+	if !ok {
+		return time.Time{}, errors.New("proxy: no upstream volume lease after renewal")
+	}
+	return expire, nil
+}
+
+// handleReqObjLease refreshes the proxy's copy from upstream if needed and
+// grants a downstream object sub-lease capped by the proxy's upstream
+// object lease.
+func (p *Proxy) handleReqObjLease(pc *pconn, req wire.ReqObjLease) {
+	upObjExpire, err := p.refreshObject(req.Object)
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown,
+			Msg: "upstream fetch failed: " + err.Error()})
+		return
+	}
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	g, err := p.table.GrantObjectLease(now, pc.id, req.Object, req.Version)
+	p.mu.Unlock()
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeNoSuchObject, Msg: err.Error()})
+		return
+	}
+	reply := wire.ObjLease{
+		Seq:     req.Seq,
+		Object:  g.Object,
+		Version: g.Version,
+		Expire:  p.capped(g.Expire, upObjExpire),
+	}
+	if g.Data != nil {
+		reply.HasData = true
+		reply.Data = g.Data
+	}
+	_ = pc.conn.Send(reply)
+}
+
+// refreshObject guarantees the proxy's table holds the current upstream
+// data for oid and returns the upstream object-lease expiry.
+func (p *Proxy) refreshObject(oid core.ObjectID) (time.Time, error) {
+	p.mu.Lock()
+	if p.known[oid] {
+		p.mu.Unlock()
+		// Fast path: our copy is current; the upstream lease expiry governs
+		// the sub-lease cap.
+		if _, expire, ok := p.up.LeaseInfo(oid); ok {
+			return expire, nil
+		}
+		// Upstream lease evaporated (e.g. redial); fall through to refetch.
+		p.mu.Lock()
+		p.known[oid] = false
+	}
+	p.mu.Unlock()
+
+	// Fetch outside the lock; up.Read acquires/renews upstream leases.
+	data, err := p.up.Read(p.cfg.Volume, oid)
+	if err != nil {
+		return time.Time{}, err
+	}
+	version, upExpire, ok := p.up.LeaseInfo(oid)
+	if !ok {
+		return time.Time{}, errors.New("proxy: upstream lease missing after read")
+	}
+
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	curVersion, _, readErr := p.table.Read(oid)
+	switch {
+	case readErr != nil:
+		// First sighting: register the object mirroring the upstream
+		// version.
+		if err := p.table.CreateObjectAt(p.cfg.Volume, oid, data, version); err != nil {
+			return time.Time{}, err
+		}
+	case version > curVersion:
+		if err := p.table.InstallVersion(now, oid, data, version, nil); err != nil {
+			return time.Time{}, err
+		}
+	case version == curVersion:
+		// Same version: restore the data MarkStale dropped (a benign
+		// re-fetch race).
+		if err := p.table.RestoreData(oid, data); err != nil {
+			return time.Time{}, err
+		}
+	default:
+		return time.Time{}, fmt.Errorf("proxy: upstream version %d behind local %d for %q",
+			version, curVersion, oid)
+	}
+	p.known[oid] = true
+	return upExpire, nil
+}
+
+// handleRenewObjLeases continues a downstream reconnection conversation.
+// Every object the client reports is first refreshed from upstream: a copy
+// the proxy marked stale keeps its old version number until refetched, and
+// comparing against that would wrongly renew the client's stale lease.
+func (p *Proxy) handleRenewObjLeases(pc *pconn, req wire.RenewObjLeases) {
+	r, ok := pc.takeRenewal(req.Seq, false)
+	if !ok || r.stage != stageAwaitHeld {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeBadRequest,
+			Msg: "unexpected RenewObjLeases"})
+		return
+	}
+	for _, h := range req.Held {
+		if _, err := p.refreshObject(h.Object); err != nil {
+			// Without upstream confirmation the proxy cannot vouch for any
+			// of the client's copies; abort the renewal.
+			pc.takeRenewal(req.Seq, true)
+			_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown,
+				Msg: "upstream refresh failed: " + err.Error()})
+			return
+		}
+	}
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	res, err := p.table.HandleRenewObjLeases(now, pc.id, req.Volume, req.Held)
+	p.mu.Unlock()
+	if err != nil {
+		pc.takeRenewal(req.Seq, true)
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown, Msg: err.Error()})
+		return
+	}
+	r.stage = stageAwaitReconnectAck
+	out := wire.InvalRenew{Seq: req.Seq, Volume: req.Volume, Invalidate: res.Invalidate}
+	for _, g := range res.Renew {
+		// Renewed sub-leases obey the hierarchy cap like fresh grants do.
+		expire := g.Expire
+		if _, upExpire, ok := p.up.LeaseInfo(g.Object); ok {
+			expire = p.capped(expire, upExpire)
+		}
+		out.Renew = append(out.Renew, wire.LeaseMeta{Object: g.Object, Version: g.Version, Expire: expire})
+	}
+	_ = pc.conn.Send(out)
+}
+
+// handleAckInvalidate routes downstream acknowledgments.
+func (p *Proxy) handleAckInvalidate(pc *pconn, ack wire.AckInvalidate) error {
+	if ack.Seq == 0 {
+		now := p.cfg.Clock.Now()
+		p.mu.Lock()
+		for _, oid := range ack.Objects {
+			_ = p.table.AckWriteInvalidate(now, pc.id, oid)
+			key := ackKey{client: pc.id, object: oid}
+			if ch, ok := p.acks[key]; ok {
+				close(ch)
+				delete(p.acks, key)
+			}
+		}
+		p.mu.Unlock()
+		return nil
+	}
+	r, ok := pc.takeRenewal(ack.Seq, true)
+	if !ok {
+		return nil
+	}
+	if r.stage != stageAwaitReconnectAck {
+		_ = pc.conn.Send(wire.Error{Seq: ack.Seq, Code: wire.ErrCodeBadRequest,
+			Msg: "ack in unexpected stage"})
+		return nil
+	}
+	upExpire, err := p.ensureUpstreamVolume()
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: ack.Seq, Code: wire.ErrCodeUnknown,
+			Msg: "upstream unavailable: " + err.Error()})
+		return nil
+	}
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	g, err := p.table.ConfirmReconnect(now, pc.id, r.volume)
+	p.mu.Unlock()
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: ack.Seq, Code: wire.ErrCodeUnknown, Msg: err.Error()})
+		return nil
+	}
+	return pc.conn.Send(wire.VolLease{
+		Seq: ack.Seq, Volume: g.Volume,
+		Expire: p.capped(g.Expire, upExpire), Epoch: g.Epoch,
+	})
+}
+
+// handleWriteReq forwards a downstream write to the origin. The origin's
+// invalidation round trips back through this proxy's OnInvalidate hook
+// before the write completes, so by the time the reply arrives the whole
+// subtree is consistent.
+func (p *Proxy) handleWriteReq(pc *pconn, req wire.WriteReq) {
+	version, waited, err := p.up.Write(req.Object, req.Data)
+	if err != nil {
+		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown,
+			Msg: "upstream write failed: " + err.Error()})
+		return
+	}
+	_ = pc.conn.Send(wire.WriteReply{Seq: req.Seq, Object: req.Object, Version: version, Waited: waited})
+}

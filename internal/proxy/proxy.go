@@ -1,0 +1,322 @@
+// Package proxy implements a hierarchical volume-lease cache: a node that
+// is simultaneously a client of an upstream (origin) volume-lease server
+// and a lease-granting server for its own downstream clients. Hierarchies
+// are the paper's motivating deployment ("aggressive caching or replication
+// hierarchies" — Section 1); the composition rule that makes them safe is:
+//
+//	a sub-lease granted downstream never outlives the corresponding
+//	upstream lease:
+//	  - downstream volume sub-leases expire no later than the proxy's
+//	    upstream volume lease, and
+//	  - downstream object sub-leases expire no later than the proxy's
+//	    upstream object lease.
+//
+// With that rule, a downstream read under valid sub-leases implies the
+// proxy's upstream leases are also valid, so the origin could not have
+// completed an unnotified write — strong consistency holds end to end. The
+// paper's fault-tolerance bound also composes: if the proxy or any client
+// becomes unreachable, every lease on the path expires within min(t, t_v)
+// and the origin's write proceeds.
+//
+// When the origin invalidates an object, the proxy invalidates its own
+// downstream holders and collects their acknowledgments BEFORE
+// acknowledging upstream (the client.Config.OnInvalidate hook), so the
+// origin's write completes only after the entire subtree dropped the data.
+//
+// The proxy's object versions mirror the origin's exactly
+// (core.InstallVersion), so version comparisons remain meaningful across
+// proxy restarts; a restarted proxy also starts a fresh downstream epoch
+// (derived from its boot time), forcing every returning client through the
+// reconnection protocol.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// ID is the proxy's identity toward the origin.
+	ID core.ClientID
+	// Addr is the downstream listen address.
+	Addr string
+	// Net supplies connectivity for both sides.
+	Net transport.Network
+	// Upstream is the origin server's address.
+	Upstream string
+	// Volume is the volume this proxy serves. (One proxy instance serves
+	// one volume; run several for several volumes.)
+	Volume core.VolumeID
+	// SubObjectLease / SubVolumeLease are the nominal durations of the
+	// leases granted downstream; actual grants are additionally capped by
+	// the proxy's upstream leases.
+	SubObjectLease time.Duration
+	SubVolumeLease time.Duration
+	// Skew is the safety margin subtracted from upstream expiries before
+	// granting against them. Defaults to 20ms.
+	Skew time.Duration
+	// MsgTimeout is the minimum time the proxy waits for downstream
+	// invalidation acks. Defaults to 1s.
+	MsgTimeout time.Duration
+	// StartupFence delays upstream invalidation acknowledgments for this
+	// long after boot: a restarted proxy cannot vouch that sub-leases
+	// granted by its previous incarnation have expired until one upstream
+	// volume-lease duration has passed (Section 3.1.2 applied one level
+	// down). Set it to the upstream volume-lease duration.
+	StartupFence time.Duration
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// Logf, when non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Skew <= 0 {
+		c.Skew = 20 * time.Millisecond
+	}
+	if c.MsgTimeout <= 0 {
+		c.MsgTimeout = time.Second
+	}
+}
+
+// Proxy is a running hierarchical cache node.
+type Proxy struct {
+	cfg      Config
+	up       *client.Client
+	listener transport.Listener
+	fence    time.Time // no upstream acks before this
+
+	mu    sync.Mutex
+	table *core.Table
+	// known marks objects whose local copy currently mirrors upstream.
+	known map[core.ObjectID]bool
+	conns map[core.ClientID]*pconn
+	acks  map[ackKey]chan struct{}
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type ackKey struct {
+	client core.ClientID
+	object core.ObjectID
+}
+
+// New connects to the origin and starts serving downstream.
+func New(cfg Config) (*Proxy, error) {
+	cfg.fillDefaults()
+	switch {
+	case cfg.ID == "":
+		return nil, errors.New("proxy: Config.ID is required")
+	case cfg.Net == nil:
+		return nil, errors.New("proxy: Config.Net is required")
+	case cfg.Upstream == "":
+		return nil, errors.New("proxy: Config.Upstream is required")
+	case cfg.Volume == "":
+		return nil, errors.New("proxy: Config.Volume is required")
+	case cfg.SubObjectLease <= 0 || cfg.SubVolumeLease <= 0:
+		return nil, errors.New("proxy: sub-lease durations must be positive")
+	}
+
+	table, err := core.NewTable(core.Config{
+		ObjectLease: cfg.SubObjectLease,
+		VolumeLease: cfg.SubVolumeLease,
+		Mode:        core.ModeEager,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A boot-unique epoch forces clients of any previous incarnation
+	// through the reconnection protocol.
+	bootEpoch := core.Epoch(cfg.Clock.Now().Unix())
+	if err := table.CreateVolumeAt(cfg.Volume, bootEpoch); err != nil {
+		return nil, err
+	}
+
+	p := &Proxy{
+		cfg:    cfg,
+		table:  table,
+		known:  make(map[core.ObjectID]bool),
+		conns:  make(map[core.ClientID]*pconn),
+		acks:   make(map[ackKey]chan struct{}),
+		closed: make(chan struct{}),
+		fence:  cfg.Clock.Now().Add(cfg.StartupFence),
+	}
+
+	upCfg := client.Config{
+		ID:           cfg.ID,
+		Clock:        cfg.Clock,
+		Skew:         cfg.Skew,
+		Redial:       true,
+		OnInvalidate: p.onUpstreamInvalidate,
+		Logf:         cfg.Logf,
+	}
+	up, err := client.Dial(cfg.Net, cfg.Upstream, upCfg)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial upstream: %w", err)
+	}
+	p.up = up
+
+	l, err := cfg.Net.Listen(cfg.Addr)
+	if err != nil {
+		up.Close()
+		return nil, err
+	}
+	p.listener = l
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr reports the downstream listen address.
+func (p *Proxy) Addr() string { return p.listener.Addr() }
+
+// Close stops the proxy.
+func (p *Proxy) Close() error {
+	p.closeMu.Do(func() {
+		close(p.closed)
+		p.listener.Close()
+		p.mu.Lock()
+		for _, pc := range p.conns {
+			pc.conn.Close()
+		}
+		p.mu.Unlock()
+		p.up.Close()
+	})
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf("proxy %s: "+format, append([]any{p.cfg.ID}, args...)...)
+	}
+}
+
+// Stats snapshots the downstream consistency state.
+func (p *Proxy) Stats() core.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.table.Stats(p.cfg.Clock.Now())
+}
+
+// onUpstreamInvalidate is the heart of the hierarchy: the origin is about
+// to complete a write and our acknowledgment is the subtree's promise that
+// nobody below can read the old data. Invalidate every downstream holder,
+// wait for their acks (bounded by their sub-lease expiries, which are in
+// turn bounded by our own upstream leases), and only then return — the
+// client library sends the upstream ack after this hook.
+func (p *Proxy) onUpstreamInvalidate(objects []core.ObjectID) {
+	// Startup fence: a fresh incarnation cannot vouch for sub-leases its
+	// predecessor granted until they have provably expired.
+	if wait := p.fence.Sub(p.cfg.Clock.Now()); wait > 0 {
+		p.logf("holding upstream ack %v for the startup fence", wait)
+		select {
+		case <-p.cfg.Clock.After(wait):
+		case <-p.closed:
+			return
+		}
+	}
+	for _, oid := range objects {
+		p.invalidateDownstream(oid)
+	}
+}
+
+// invalidateDownstream runs the server-side write-invalidation round for
+// one object against the proxy's own clients, then marks the proxy copy
+// stale so the next downstream request refetches from upstream.
+func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	if !p.known[oid] {
+		p.mu.Unlock()
+		return
+	}
+	plan, err := p.table.BeginWrite(now, oid)
+	if err != nil {
+		p.mu.Unlock()
+		p.logf("downstream invalidation of %s: %v", oid, err)
+		return
+	}
+	type waiter struct {
+		client core.ClientID
+		ch     chan struct{}
+		bound  time.Time
+	}
+	waiters := make([]waiter, 0, len(plan.Notify))
+	targets := make([]*pconn, 0, len(plan.Notify))
+	for _, inv := range plan.Notify {
+		key := ackKey{client: inv.Client, object: oid}
+		ch := make(chan struct{})
+		p.acks[key] = ch
+		waiters = append(waiters, waiter{client: inv.Client, ch: ch, bound: inv.LeaseExpire})
+		targets = append(targets, p.conns[inv.Client])
+	}
+	p.mu.Unlock()
+
+	for i, pc := range targets {
+		if pc == nil {
+			p.logf("invalidate %s: client %s not connected; waiting out its sub-lease", oid, waiters[i].client)
+			continue
+		}
+		pc.sendInvalidate(oid)
+	}
+
+	deadline := now.Add(p.cfg.MsgTimeout)
+	for _, w := range waiters {
+		if w.bound.After(deadline) {
+			deadline = w.bound
+		}
+	}
+	var timeout <-chan time.Time
+	if len(waiters) > 0 {
+		timeout = p.cfg.Clock.After(deadline.Sub(now))
+	}
+	expired := false
+	for _, w := range waiters {
+		if expired {
+			break
+		}
+		select {
+		case <-w.ch:
+		case <-timeout:
+			expired = true
+		case <-p.closed:
+			expired = true
+		}
+	}
+
+	var unacked []core.ClientID
+	now = p.cfg.Clock.Now()
+	p.mu.Lock()
+	for _, w := range waiters {
+		key := ackKey{client: w.client, object: oid}
+		if ch, pending := p.acks[key]; pending {
+			close(ch) // unblock any volume-grant guard on this client
+			delete(p.acks, key)
+			unacked = append(unacked, w.client)
+		}
+	}
+	// Drop our copy (the version is updated from upstream on the next
+	// fetch) and remember clients that provably missed the invalidation.
+	p.known[oid] = false
+	if err := p.table.MarkStale(now, oid, unacked); err != nil {
+		p.logf("mark stale %s: %v", oid, err)
+	}
+	for _, c := range unacked {
+		p.logf("invalidate %s: downstream %s unreachable", oid, c)
+	}
+	p.mu.Unlock()
+}

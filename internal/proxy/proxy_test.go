@@ -1,0 +1,390 @@
+package proxy_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/proxy"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// hierarchy builds origin <- proxy and returns both plus the network and
+// the origin's recorder.
+type hierarchy struct {
+	net    *transport.Memory
+	origin *server.Server
+	px     *proxy.Proxy
+	rec    *metrics.Recorder
+}
+
+func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
+	t.Helper()
+	net := transport.NewMemory()
+	rec := metrics.NewRecorder()
+	origin, err := server.New(server.Config{
+		Name: "origin",
+		Addr: "origin:1",
+		Net:  net,
+		Table: core.Config{
+			ObjectLease: time.Hour,
+			VolumeLease: 2 * time.Second,
+			Mode:        core.ModeEager,
+		},
+		MsgTimeout: 50 * time.Millisecond,
+		Recorder:   rec,
+	})
+	if err != nil {
+		t.Fatalf("origin: %v", err)
+	}
+	t.Cleanup(func() { origin.Close() })
+	if err := origin.AddVolume("vol"); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []string{"a", "b"} {
+		if err := origin.AddObject("vol", core.ObjectID(o), []byte(o+" v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cfg := proxy.Config{
+		ID:             "edge-proxy",
+		Addr:           "proxy:1",
+		Net:            net,
+		Upstream:       "origin:1",
+		Volume:         "vol",
+		SubObjectLease: 30 * time.Minute,
+		SubVolumeLease: time.Second,
+		Skew:           5 * time.Millisecond,
+		MsgTimeout:     50 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	px, err := proxy.New(cfg)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	t.Cleanup(func() { px.Close() })
+	return &hierarchy{net: net, origin: origin, px: px, rec: rec}
+}
+
+func (h *hierarchy) dial(t *testing.T, id string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(h.net, "proxy:1", client.Config{
+		ID:      core.ClientID(id),
+		Skew:    5 * time.Millisecond,
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestProxyReadThrough(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c := h.dial(t, "leaf")
+	data, err := c.Read("vol", "a")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(data) != "a v1" {
+		t.Errorf("read = %q", data)
+	}
+	// Repeat read: cache hit at the leaf, no proxy traffic at all.
+	local0, _, _ := c.Stats()
+	if _, err := c.Read("vol", "a"); err != nil {
+		t.Fatal(err)
+	}
+	local1, _, _ := c.Stats()
+	if local1 != local0+1 {
+		t.Error("second read not served from leaf cache")
+	}
+}
+
+func TestProxyAbsorbsDownstreamFetches(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c1 := h.dial(t, "leaf-1")
+	c2 := h.dial(t, "leaf-2")
+	if _, err := c1.Read("vol", "a"); err != nil {
+		t.Fatal(err)
+	}
+	upstreamData := h.rec.Totals().ByClass[metrics.MsgData]
+	// The second leaf's fetch is served from the proxy's copy: the origin
+	// sees no additional data transfer.
+	if _, err := c2.Read("vol", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.rec.Totals().ByClass[metrics.MsgData]; got != upstreamData {
+		t.Errorf("origin data messages grew %d -> %d; proxy should absorb the fetch", upstreamData, got)
+	}
+}
+
+func TestProxyWriteInvalidatesWholeSubtree(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c1 := h.dial(t, "leaf-1")
+	c2 := h.dial(t, "leaf-2")
+	for _, c := range []*client.Client{c1, c2} {
+		if _, err := c.Read("vol", "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The origin's write completes only after the proxy has invalidated
+	// both leaves and they acked.
+	version, waited, err := h.origin.Write("a", []byte("a v2"))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if version != 2 {
+		t.Errorf("version = %d", version)
+	}
+	if waited > time.Second {
+		t.Errorf("write waited %v with responsive subtree", waited)
+	}
+	for i, c := range []*client.Client{c1, c2} {
+		data, err := c.Read("vol", "a")
+		if err != nil {
+			t.Fatalf("leaf %d read: %v", i, err)
+		}
+		if string(data) != "a v2" {
+			t.Errorf("leaf %d read = %q, want a v2", i, data)
+		}
+		_, _, invals := c.Stats()
+		if invals == 0 {
+			t.Errorf("leaf %d never saw the invalidation", i)
+		}
+	}
+}
+
+func TestProxySubLeaseNeverOutlivesUpstream(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c := h.dial(t, "leaf")
+	if _, err := c.Read("vol", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// The leaf's volume sub-lease must expire within the proxy's upstream
+	// volume lease (2s), even though the proxy would nominally grant 1s —
+	// and never beyond 2s from now.
+	expire, _, ok := c.VolumeLeaseInfo("vol")
+	if !ok {
+		t.Fatal("leaf has no volume lease")
+	}
+	if d := time.Until(expire); d > 2*time.Second {
+		t.Errorf("leaf volume sub-lease %v ahead; upstream lease is 2s", d)
+	}
+	// Object sub-lease: nominal 30m, but capped by the origin's 1h object
+	// lease — so up to 30m is fine; it must exist and be well in the
+	// future.
+	_, objExpire, ok := c.LeaseInfo("a")
+	if !ok {
+		t.Fatal("leaf has no object lease")
+	}
+	if d := time.Until(objExpire); d < time.Minute || d > time.Hour {
+		t.Errorf("leaf object sub-lease %v ahead, want ~30m", d)
+	}
+}
+
+func TestProxyPartitionedLeafBoundsOriginWrite(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c := h.dial(t, "leaf")
+	if _, err := c.Read("vol", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the leaf off from the proxy. The origin's write is delayed while
+	// the proxy waits for the leaf, but no longer than the leaf's volume
+	// sub-lease (≤1s) — and certainly not the 30-minute object sub-lease.
+	h.net.Partition("leaf", "proxy")
+	start := time.Now()
+	if _, _, err := h.origin.Write("a", []byte("a v2")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 3*time.Second {
+		t.Errorf("origin write took %v; subtree bound is ~1s", elapsed)
+	}
+	// The partitioned leaf cannot read once its (short) volume sub-lease
+	// expires.
+	time.Sleep(1100 * time.Millisecond)
+	if _, err := c.Read("vol", "a"); err == nil {
+		t.Error("partitioned leaf read stale data")
+	}
+	// After healing, the leaf resynchronizes through the proxy.
+	h.net.Heal("leaf", "proxy")
+	data, err := c.Read("vol", "a")
+	if err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(data) != "a v2" {
+		t.Errorf("read after heal = %q, want a v2", data)
+	}
+}
+
+func TestProxyDownstreamWritePropagates(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c1 := h.dial(t, "leaf-1")
+	c2 := h.dial(t, "leaf-2")
+	if _, err := c1.Read("vol", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Read("vol", "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Leaf 1 writes through the proxy; the origin invalidates the proxy,
+	// which invalidates both leaves; then everyone reads v2.
+	version, _, err := c1.Write("b", []byte("b v2"))
+	if err != nil {
+		t.Fatalf("leaf write: %v", err)
+	}
+	if version != 2 {
+		t.Errorf("version = %d", version)
+	}
+	if v, data, _ := h.origin.Read("b"); v != 2 || string(data) != "b v2" {
+		t.Errorf("origin = v%d %q", v, data)
+	}
+	for i, c := range []*client.Client{c1, c2} {
+		data, err := c.Read("vol", "b")
+		if err != nil || string(data) != "b v2" {
+			t.Errorf("leaf %d read = %q %v", i, data, err)
+		}
+	}
+}
+
+func TestProxyRestartForcesLeafResync(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c := h.dial(t, "leaf")
+	if _, err := c.Read("vol", "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the proxy and start a fresh incarnation on the same address
+	// after its startup fence would matter. (Clock.Unix epochs need the
+	// boots to land on different seconds.)
+	h.px.Close()
+	time.Sleep(1100 * time.Millisecond)
+	px2, err := proxy.New(proxy.Config{
+		ID:             "edge-proxy",
+		Addr:           "proxy:2",
+		Net:            h.net,
+		Upstream:       "origin:1",
+		Volume:         "vol",
+		SubObjectLease: 30 * time.Minute,
+		SubVolumeLease: time.Second,
+		Skew:           5 * time.Millisecond,
+		MsgTimeout:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px2.Close()
+
+	// A leaf reconnecting to the new incarnation carries the old epoch and
+	// must be forced through the reconnection protocol — and still get
+	// correct data.
+	c2, err := client.Dial(h.net, "proxy:2", client.Config{
+		ID: "leaf", Skew: 5 * time.Millisecond, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	data, err := c2.Read("vol", "a")
+	if err != nil {
+		t.Fatalf("read via new proxy: %v", err)
+	}
+	if string(data) != "a v1" {
+		t.Errorf("read = %q", data)
+	}
+}
+
+func TestProxyChainTwoLevels(t *testing.T) {
+	// origin <- proxy1 <- proxy2 <- leaf: the protocol composes because a
+	// proxy speaks exactly the server protocol downstream.
+	h := buildHierarchy(t, nil)
+	px2, err := proxy.New(proxy.Config{
+		ID:             "regional-proxy",
+		Addr:           "proxy2:1",
+		Net:            h.net,
+		Upstream:       "proxy:1",
+		Volume:         "vol",
+		SubObjectLease: 10 * time.Minute,
+		SubVolumeLease: 800 * time.Millisecond,
+		Skew:           5 * time.Millisecond,
+		MsgTimeout:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px2.Close()
+
+	leaf, err := client.Dial(h.net, "proxy2:1", client.Config{
+		ID: "deep-leaf", Skew: 5 * time.Millisecond, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+
+	data, err := leaf.Read("vol", "a")
+	if err != nil {
+		t.Fatalf("deep read: %v", err)
+	}
+	if string(data) != "a v1" {
+		t.Errorf("deep read = %q", data)
+	}
+
+	// A write at the origin flows down both levels before completing.
+	if _, _, err := h.origin.Write("a", []byte("a v2")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	data, err = leaf.Read("vol", "a")
+	if err != nil {
+		t.Fatalf("deep read after write: %v", err)
+	}
+	if string(data) != "a v2" {
+		t.Errorf("deep read after write = %q, want a v2", data)
+	}
+	_, _, invals := leaf.Stats()
+	if invals == 0 {
+		t.Error("deep leaf never saw the invalidation")
+	}
+}
+
+func TestProxyConfigValidation(t *testing.T) {
+	net := transport.NewMemory()
+	base := proxy.Config{
+		ID: "p", Addr: "p:1", Net: net, Upstream: "o:1", Volume: "v",
+		SubObjectLease: time.Minute, SubVolumeLease: time.Second,
+	}
+	cases := []struct {
+		name string
+		mut  func(*proxy.Config)
+	}{
+		{"no id", func(c *proxy.Config) { c.ID = "" }},
+		{"no net", func(c *proxy.Config) { c.Net = nil }},
+		{"no upstream", func(c *proxy.Config) { c.Upstream = "" }},
+		{"no volume", func(c *proxy.Config) { c.Volume = "" }},
+		{"bad object lease", func(c *proxy.Config) { c.SubObjectLease = 0 }},
+		{"bad volume lease", func(c *proxy.Config) { c.SubVolumeLease = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			if _, err := proxy.New(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestProxyWrongVolumeRejected(t *testing.T) {
+	h := buildHierarchy(t, nil)
+	c := h.dial(t, "leaf")
+	if _, err := c.Read("other-volume", "a"); err == nil {
+		t.Error("read of unproxied volume succeeded")
+	}
+}

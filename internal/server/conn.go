@@ -1,0 +1,346 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// clientConn is one connected client.
+type clientConn struct {
+	id   core.ClientID
+	conn transport.Conn
+	// mu guards renewals: the reader goroutine and asynchronous
+	// grant-waiters both touch it.
+	mu sync.Mutex
+	// renewals tracks in-flight volume-renewal conversations by sequence
+	// number.
+	renewals map[uint64]*renewal
+}
+
+// setRenewal installs conversation state for seq.
+func (cc *clientConn) setRenewal(seq uint64, r *renewal) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.renewals[seq] = r
+}
+
+// takeRenewal fetches conversation state, optionally removing it.
+func (cc *clientConn) takeRenewal(seq uint64, remove bool) (*renewal, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	r, ok := cc.renewals[seq]
+	if ok && remove {
+		delete(cc.renewals, seq)
+	}
+	return r, ok
+}
+
+// renewal is the state machine for a multi-round volume-lease conversation.
+type renewal struct {
+	volume core.VolumeID
+	stage  renewalStage
+}
+
+type renewalStage int
+
+const (
+	// stageAwaitHeld: MUST_RENEW_ALL sent; expecting RenewObjLeases.
+	stageAwaitHeld renewalStage = iota + 1
+	// stageAwaitReconnectAck: InvalRenew (reconnection vector) sent;
+	// expecting AckInvalidate.
+	stageAwaitReconnectAck
+	// stageAwaitPendingAck: InvalRenew (queued invalidations) sent;
+	// expecting AckInvalidate.
+	stageAwaitPendingAck
+)
+
+// serveConn owns one client connection: handshake, then request dispatch
+// until the connection drops.
+func (s *Server) serveConn(conn transport.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := first.(wire.Hello)
+	if !ok || hello.Client == "" {
+		_ = conn.Send(wire.Error{Code: wire.ErrCodeBadRequest, Msg: "expected Hello"})
+		return
+	}
+	cc := &clientConn{id: hello.Client, conn: conn, renewals: make(map[uint64]*renewal)}
+
+	s.mu.Lock()
+	if old, exists := s.conns[cc.id]; exists {
+		old.conn.Close()
+	}
+	s.conns[cc.id] = cc
+	s.mu.Unlock()
+	s.logf("client %s connected from %s", cc.id, conn.RemoteAddr())
+
+	defer func() {
+		s.mu.Lock()
+		if s.conns[cc.id] == cc {
+			delete(s.conns, cc.id)
+		}
+		s.mu.Unlock()
+		s.logf("client %s disconnected", cc.id)
+	}()
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Message(s.cfg.Name, classOf(m), 0, s.cfg.Clock.Now())
+		}
+		if err := s.dispatch(cc, m); err != nil {
+			s.logf("client %s: %v", cc.id, err)
+			return
+		}
+	}
+}
+
+// dispatch handles one inbound message on the reader goroutine.
+func (s *Server) dispatch(cc *clientConn, m wire.Message) error {
+	switch v := m.(type) {
+	case wire.ReqObjLease:
+		return s.handleReqObjLease(cc, v)
+	case wire.ReqVolLease:
+		return s.handleReqVolLease(cc, v)
+	case wire.RenewObjLeases:
+		return s.handleRenewObjLeases(cc, v)
+	case wire.AckInvalidate:
+		return s.handleAckInvalidate(cc, v)
+	case wire.WriteReq:
+		// Writes block on acknowledgments (possibly from this very
+		// connection), so they must not occupy the reader goroutine.
+		go s.handleWriteReq(cc, v)
+		return nil
+	case wire.Hello:
+		return errors.New("duplicate Hello")
+	default:
+		return fmt.Errorf("unexpected message %s", m.Kind())
+	}
+}
+
+// handleReqObjLease grants or renews an object lease, piggybacking data when
+// the client is stale (Figure 3). If the object has a write in flight, the
+// grant waits for it on a separate goroutine so the connection's reader
+// stays free to process acknowledgments.
+func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
+	s.mu.Lock()
+	if guard, busy := s.writing[req.Object]; busy {
+		s.mu.Unlock()
+		go func() {
+			select {
+			case <-guard:
+				_ = s.handleReqObjLease(cc, req)
+			case <-s.closed:
+			}
+		}()
+		return nil
+	}
+	g, err := s.table.GrantObjectLease(s.cfg.Clock.Now(), cc.id, req.Object, req.Version)
+	s.mu.Unlock()
+	if err != nil {
+		return s.sendErr(cc, req.Seq, err)
+	}
+	reply := wire.ObjLease{
+		Seq:     req.Seq,
+		Object:  g.Object,
+		Version: g.Version,
+		Expire:  g.Expire,
+	}
+	if g.Data != nil {
+		reply.HasData = true
+		reply.Data = g.Data
+		return s.send(cc, metrics.MsgData, reply)
+	}
+	return s.send(cc, metrics.MsgObjLease, reply)
+}
+
+// handleReqVolLease starts a volume-renewal conversation (Figure 3's
+// "Server grants lease for volume v").
+//
+// A client with an invalidation acknowledgment outstanding must not be
+// granted a fresh volume lease yet: the pending write's wait bound was
+// computed from the leases that existed when it began, so a renewal issued
+// now could outlive that bound — the write would then complete while the
+// client still believes it may read. The grant waits (off the reader
+// goroutine) until the client acks or the write times it out; in the
+// latter case the client is unreachable and the renewal correctly becomes
+// a reconnection.
+func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
+	s.mu.Lock()
+	if chans := s.pendingAcksLocked(cc.id); len(chans) > 0 {
+		s.mu.Unlock()
+		go func() {
+			for _, ch := range chans {
+				select {
+				case <-ch:
+				case <-s.closed:
+					return
+				}
+			}
+			_ = s.handleReqVolLease(cc, req)
+		}()
+		return nil
+	}
+	g, err := s.table.RequestVolumeLease(s.cfg.Clock.Now(), cc.id, req.Volume, req.Epoch)
+	s.mu.Unlock()
+	if err != nil {
+		return s.sendErr(cc, req.Seq, err)
+	}
+	switch g.Status {
+	case core.VolumeGranted:
+		return s.send(cc, metrics.MsgVolLease, wire.VolLease{
+			Seq: req.Seq, Volume: g.Volume, Expire: g.Expire, Epoch: g.Epoch,
+		})
+	case core.VolumePendingInvalidations:
+		cc.setRenewal(req.Seq, &renewal{volume: req.Volume, stage: stageAwaitPendingAck})
+		return s.send(cc, metrics.MsgInvalRenew, wire.InvalRenew{
+			Seq: req.Seq, Volume: req.Volume, Invalidate: g.Invalidate,
+		})
+	case core.VolumeNeedsRenewAll:
+		cc.setRenewal(req.Seq, &renewal{volume: req.Volume, stage: stageAwaitHeld})
+		return s.send(cc, metrics.MsgMustRenewAll, wire.MustRenewAll{
+			Seq: req.Seq, Volume: req.Volume, Epoch: g.Epoch,
+		})
+	default:
+		return fmt.Errorf("unknown grant status %v", g.Status)
+	}
+}
+
+// handleRenewObjLeases continues a reconnection conversation: the client has
+// enumerated its cached objects; reply with the invalidate/renew vector.
+func (s *Server) handleRenewObjLeases(cc *clientConn, req wire.RenewObjLeases) error {
+	r, ok := cc.takeRenewal(req.Seq, false)
+	if !ok || r.stage != stageAwaitHeld {
+		return s.sendErr(cc, req.Seq, errors.New("server: unexpected RenewObjLeases"))
+	}
+	s.mu.Lock()
+	// Renewing a lease on an object with a write in flight would hand out a
+	// lease at the old version; wait the write(s) out asynchronously.
+	for _, h := range req.Held {
+		if guard, busy := s.writing[h.Object]; busy {
+			s.mu.Unlock()
+			go func() {
+				select {
+				case <-guard:
+					_ = s.handleRenewObjLeases(cc, req)
+				case <-s.closed:
+				}
+			}()
+			return nil
+		}
+	}
+	res, err := s.table.HandleRenewObjLeases(s.cfg.Clock.Now(), cc.id, req.Volume, req.Held)
+	s.mu.Unlock()
+	if err != nil {
+		cc.takeRenewal(req.Seq, true)
+		return s.sendErr(cc, req.Seq, err)
+	}
+	r.stage = stageAwaitReconnectAck
+	out := wire.InvalRenew{Seq: req.Seq, Volume: req.Volume, Invalidate: res.Invalidate}
+	for _, g := range res.Renew {
+		out.Renew = append(out.Renew, wire.LeaseMeta{Object: g.Object, Version: g.Version, Expire: g.Expire})
+	}
+	return s.send(cc, metrics.MsgInvalRenew, out)
+}
+
+// handleAckInvalidate routes acknowledgment messages: Seq 0 acks belong to
+// in-flight writes; others complete volume-renewal conversations.
+func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) error {
+	if ack.Seq == 0 {
+		s.completeWriteAcks(cc.id, ack.Objects)
+		return nil
+	}
+	r, ok := cc.takeRenewal(ack.Seq, true)
+	if !ok {
+		return nil // stale ack after an error; harmless
+	}
+	now := s.cfg.Clock.Now()
+	var (
+		g   core.VolumeGrant
+		err error
+	)
+	s.mu.Lock()
+	switch r.stage {
+	case stageAwaitPendingAck:
+		g, err = s.table.ConfirmPendingDelivered(now, cc.id, r.volume)
+	case stageAwaitReconnectAck:
+		g, err = s.table.ConfirmReconnect(now, cc.id, r.volume)
+	default:
+		err = fmt.Errorf("server: ack in unexpected stage %d", r.stage)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return s.sendErr(cc, ack.Seq, err)
+	}
+	return s.send(cc, metrics.MsgVolLease, wire.VolLease{
+		Seq: ack.Seq, Volume: g.Volume, Expire: g.Expire, Epoch: g.Epoch,
+	})
+}
+
+// pendingAcksLocked returns the ack channels of writes still waiting on
+// this client. mu must be held.
+func (s *Server) pendingAcksLocked(client core.ClientID) []chan struct{} {
+	var chans []chan struct{}
+	for key, ch := range s.acks {
+		if key.client == client {
+			chans = append(chans, ch)
+		}
+	}
+	return chans
+}
+
+// completeWriteAcks resolves pending write waiters and releases the
+// clients' object leases.
+func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, oid := range objects {
+		_ = s.table.AckWriteInvalidate(now, client, oid)
+		key := ackKey{client: client, object: oid}
+		if ch, ok := s.acks[key]; ok {
+			close(ch)
+			delete(s.acks, key)
+		}
+	}
+}
+
+// handleWriteReq performs a client-requested write and replies.
+func (s *Server) handleWriteReq(cc *clientConn, req wire.WriteReq) {
+	version, waited, err := s.Write(req.Object, req.Data)
+	if err != nil {
+		_ = s.sendErr(cc, req.Seq, err)
+		return
+	}
+	_ = s.send(cc, metrics.MsgData, wire.WriteReply{
+		Seq: req.Seq, Object: req.Object, Version: version, Waited: waited,
+	})
+}
+
+// sendErr reports a request failure to the client.
+func (s *Server) sendErr(cc *clientConn, seq uint64, err error) error {
+	code := wire.ErrCodeUnknown
+	switch {
+	case errors.Is(err, core.ErrNoSuchObject):
+		code = wire.ErrCodeNoSuchObject
+	case errors.Is(err, core.ErrNoSuchVolume):
+		code = wire.ErrCodeNoSuchVolume
+	case errors.Is(err, core.ErrWriteFenced):
+		code = wire.ErrCodeWriteFenced
+	}
+	return s.send(cc, metrics.MsgData, wire.Error{Seq: seq, Code: code, Msg: err.Error()})
+}

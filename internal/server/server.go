@@ -1,0 +1,334 @@
+// Package server implements the networked volume-lease server: it drives a
+// core.Table (the paper's Figures 2 and 3) over a transport.Network, serving
+// lease requests from many concurrent clients, running the blocking
+// write/invalidate/acknowledge path, the delayed-invalidation machinery, the
+// reconnection protocol for unreachable clients, and epoch-based crash
+// recovery.
+//
+// One goroutine per client connection reads requests; a single mutex guards
+// the consistency table (operations on it are short and in-memory, matching
+// the paper's single-threaded event processing); writes block outside the
+// lock while collecting acknowledgments.
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// WriteMode selects how long a write waits for invalidation acknowledgments.
+type WriteMode int
+
+const (
+	// WriteBlocking is the paper's semantics: the write completes only when
+	// every notified client has acknowledged or its lease bound
+	// (min(volume expiry, object expiry), floored at MsgTimeout) has
+	// passed. Strong consistency always holds.
+	WriteBlocking WriteMode = iota + 1
+	// WriteBestEffort is the extension named in the paper's conclusion:
+	// the server sends invalidations but waits at most BestEffortGrace.
+	// Clients that do not acknowledge in time are marked unreachable and
+	// resynchronize on their next volume renewal, so staleness is bounded
+	// by the remaining volume-lease time (≤ t_v) instead of zero.
+	WriteBestEffort
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Name identifies the server (used as metrics key and volume host).
+	Name string
+	// Addr is the listen address.
+	Addr string
+	// Net supplies connectivity (transport.TCP{} in production,
+	// transport.Memory in tests).
+	Net transport.Network
+	// Clock drives lease expiry; defaults to the wall clock.
+	Clock clock.Clock
+	// Table configures lease durations and the invalidation mode.
+	Table core.Config
+	// MsgTimeout is Figure 3's msgTimeout: the minimum time a blocking
+	// write waits for an acknowledgment even when leases are about to
+	// expire. Defaults to 1s.
+	MsgTimeout time.Duration
+	// WriteMode selects blocking (default) or best-effort writes.
+	WriteMode WriteMode
+	// BestEffortGrace is the maximum ack wait in WriteBestEffort mode.
+	BestEffortGrace time.Duration
+	// SweepInterval is how often expired leases are swept. Defaults to the
+	// volume lease duration.
+	SweepInterval time.Duration
+	// StateDir, when set, persists volume epochs and the maximum lease
+	// duration across restarts (Section 3.1.2's stable-storage recovery):
+	// a restarted server resumes each volume at epoch+1 and fences writes
+	// for one previous volume-lease duration.
+	StateDir string
+	// Recorder, when non-nil, receives message accounting.
+	Recorder *metrics.Recorder
+	// Logf, when non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.MsgTimeout <= 0 {
+		c.MsgTimeout = time.Second
+	}
+	if c.WriteMode == 0 {
+		c.WriteMode = WriteBlocking
+	}
+	if c.BestEffortGrace <= 0 {
+		c.BestEffortGrace = 50 * time.Millisecond
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.Table.VolumeLease
+	}
+	if c.Name == "" {
+		c.Name = c.Addr
+	}
+}
+
+// Server is a running volume-lease server.
+type Server struct {
+	cfg      Config
+	listener transport.Listener
+
+	mu    sync.Mutex
+	table *core.Table
+	conns map[core.ClientID]*clientConn
+	acks  map[ackKey]chan struct{}
+	// writing guards each object with an in-flight write: lease grants on
+	// it must wait for the write to finish, or a client could receive old
+	// data with a fresh lease after the write's invalidation set was
+	// already computed (a stale-read hole). The channel closes when the
+	// write completes.
+	writing map[core.ObjectID]chan struct{}
+
+	// writeMu serializes Write calls (one write at a time, like the
+	// paper's server).
+	writeMu sync.Mutex
+
+	// prevEpochs holds the previous incarnation's persisted epochs; new
+	// volumes resume one past them.
+	prevEpochs map[core.VolumeID]core.Epoch
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type ackKey struct {
+	client core.ClientID
+	object core.ObjectID
+}
+
+// New builds and starts a server listening on cfg.Addr.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	table, err := core.NewTable(cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("server: Config.Net is required")
+	}
+	l, err := cfg.Net.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		listener:   l,
+		table:      table,
+		conns:      make(map[core.ClientID]*clientConn),
+		acks:       make(map[ackKey]chan struct{}),
+		writing:    make(map[core.ObjectID]chan struct{}),
+		prevEpochs: make(map[core.VolumeID]core.Epoch),
+		closed:     make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		if err := s.initPersistence(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.sweepLoop()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Close stops the server and closes every client connection.
+func (s *Server) Close() error {
+	s.closeMu.Do(func() {
+		close(s.closed)
+		s.listener.Close()
+		s.mu.Lock()
+		for _, cc := range s.conns {
+			cc.conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+// logf logs when a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("server %s: "+format, append([]any{s.cfg.Name}, args...)...)
+	}
+}
+
+// AddVolume registers a volume. With StateDir configured, a volume known
+// to a previous incarnation resumes at its persisted epoch + 1, so clients
+// holding pre-crash leases are forced through the reconnection protocol.
+func (s *Server) AddVolume(vid core.VolumeID) error {
+	s.mu.Lock()
+	epoch := core.Epoch(0)
+	if prev, ok := s.prevEpochs[vid]; ok {
+		epoch = prev + 1
+	}
+	err := s.table.CreateVolumeAt(vid, epoch)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.persistEpochs()
+}
+
+// AddObject registers an object with initial contents.
+func (s *Server) AddObject(vid core.VolumeID, oid core.ObjectID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.CreateObject(vid, oid, data)
+}
+
+// Stats snapshots the consistency-state statistics.
+func (s *Server) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Stats(s.cfg.Clock.Now())
+}
+
+// Epoch reports a volume's current epoch.
+func (s *Server) Epoch(vid core.VolumeID) (core.Epoch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.VolumeEpoch(vid)
+}
+
+// Recover simulates a crash-reboot (Section 3.1.2): every connection is
+// dropped, all lease state is lost, epochs are bumped, and writes are fenced
+// for one volume-lease duration.
+func (s *Server) Recover() {
+	s.mu.Lock()
+	for id, cc := range s.conns {
+		cc.conn.Close()
+		delete(s.conns, id)
+	}
+	s.table.Recover(s.cfg.Clock.Now())
+	fence := s.table.WriteFence()
+	s.mu.Unlock()
+	s.logf("recovered: epochs bumped, writes fenced until %v", fence)
+	if err := s.persistEpochs(); err != nil {
+		s.logf("persist after recover: %v", err)
+	}
+}
+
+// Read returns an object's current version and data directly from the
+// server (a local, always-consistent read).
+func (s *Server) Read(oid core.ObjectID) (core.Version, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Read(oid)
+}
+
+// acceptLoop admits client connections.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// sweepLoop periodically expires leases and applies the inactive-discard
+// policy.
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.cfg.Clock.After(s.cfg.SweepInterval):
+			s.mu.Lock()
+			s.table.Sweep(s.cfg.Clock.Now())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// record notes a protocol message for metrics.
+func (s *Server) record(class metrics.MsgClass, m wire.Message) {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	var n int64
+	if buf, err := wire.Encode(m); err == nil {
+		n = int64(len(buf))
+	}
+	s.cfg.Recorder.Message(s.cfg.Name, class, n, s.cfg.Clock.Now())
+}
+
+// send transmits m on cc, recording it.
+func (s *Server) send(cc *clientConn, class metrics.MsgClass, m wire.Message) error {
+	s.record(class, m)
+	return cc.conn.Send(m)
+}
+
+// classOf maps inbound kinds to metric classes.
+func classOf(m wire.Message) metrics.MsgClass {
+	switch m.(type) {
+	case wire.ReqObjLease:
+		return metrics.MsgObjLeaseReq
+	case wire.ReqVolLease:
+		return metrics.MsgVolLeaseReq
+	case wire.AckInvalidate:
+		return metrics.MsgAckInvalidate
+	case wire.RenewObjLeases:
+		return metrics.MsgRenewObjLeases
+	case wire.WriteReq, wire.Hello:
+		return metrics.MsgData
+	default:
+		return metrics.MsgData
+	}
+}
+
+// VolumeStats snapshots the consistency-state statistics of one volume.
+func (s *Server) VolumeStats(vid core.VolumeID) (core.Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.VolumeStats(s.cfg.Clock.Now(), vid)
+}

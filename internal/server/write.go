@@ -1,0 +1,130 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Write modifies an object, running Figure 3's "Server writes object o":
+// invalidate every client the plan names, collect acknowledgments until each
+// client acks or its lease bound passes (floored at MsgTimeout), move
+// non-responders to the Unreachable set, then install the new data and bump
+// the version. It returns the new version and how long the write waited.
+//
+// Writes are serialized: the paper's server processes one write at a time,
+// and concurrent writes to one object would race on the ack registry.
+func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Duration, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+
+	start := s.cfg.Clock.Now()
+
+	type waiter struct {
+		client core.ClientID
+		ch     chan struct{}
+		bound  time.Time
+	}
+
+	s.mu.Lock()
+	plan, err := s.table.BeginWrite(start, oid)
+	if err != nil {
+		s.mu.Unlock()
+		return 0, 0, err
+	}
+	// Block lease grants on this object until the write completes, so no
+	// client can acquire a fresh lease on the old data after the
+	// invalidation set was computed.
+	guard := make(chan struct{})
+	s.writing[oid] = guard
+	waiters := make([]waiter, 0, len(plan.Notify))
+	targets := make([]*clientConn, 0, len(plan.Notify))
+	for _, inv := range plan.Notify {
+		key := ackKey{client: inv.Client, object: oid}
+		ch := make(chan struct{})
+		s.acks[key] = ch
+		waiters = append(waiters, waiter{client: inv.Client, ch: ch, bound: inv.LeaseExpire})
+		targets = append(targets, s.conns[inv.Client]) // nil if not connected
+	}
+	s.mu.Unlock()
+
+	// Send the invalidations outside the table lock.
+	inval := wire.Invalidate{Objects: []core.ObjectID{oid}}
+	for i, cc := range targets {
+		if cc == nil {
+			s.logf("write %s: client %s not connected; waiting out its lease", oid, waiters[i].client)
+			continue
+		}
+		if err := s.send(cc, metrics.MsgInvalidate, inval); err != nil {
+			s.logf("write %s: invalidate to %s failed: %v", oid, cc.id, err)
+		}
+	}
+
+	// Figure 3: T_f = min(volume.expire, object.expire), floored at
+	// msgTimeout. We use the per-client bounds (their max is the protocol's
+	// global bound) and in best-effort mode cap the whole wait at the grace
+	// period.
+	deadline := start.Add(s.cfg.MsgTimeout)
+	for _, w := range waiters {
+		if w.bound.After(deadline) {
+			deadline = w.bound
+		}
+	}
+	if s.cfg.WriteMode == WriteBestEffort {
+		if g := start.Add(s.cfg.BestEffortGrace); g.Before(deadline) {
+			deadline = g
+		}
+	}
+
+	var timeout <-chan time.Time
+	if len(waiters) > 0 {
+		timeout = s.cfg.Clock.After(deadline.Sub(start))
+	}
+	expired := false
+	for _, w := range waiters {
+		if expired {
+			break
+		}
+		select {
+		case <-w.ch:
+		case <-timeout:
+			expired = true
+		case <-s.closed:
+			expired = true
+		}
+	}
+
+	// Collect the clients that never acknowledged and release their ack
+	// entries.
+	var unacked []core.ClientID
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	for _, w := range waiters {
+		key := ackKey{client: w.client, object: oid}
+		if ch, pending := s.acks[key]; pending {
+			// Close so any volume-grant guard waiting on this client's
+			// acknowledgment unblocks (and then observes the client's new
+			// unreachable standing).
+			close(ch)
+			delete(s.acks, key)
+			unacked = append(unacked, w.client)
+		}
+	}
+	version, err := s.table.FinishWrite(now, oid, data, unacked)
+	delete(s.writing, oid)
+	close(guard)
+	s.mu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	waited := now.Sub(start)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Write(waited)
+	}
+	if len(unacked) > 0 {
+		s.logf("write %s v%d: %d client(s) unreachable after %v", oid, version, len(unacked), waited)
+	}
+	return version, waited, nil
+}

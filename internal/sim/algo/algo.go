@@ -1,0 +1,236 @@
+// Package algo implements the six cache-consistency algorithms the paper
+// evaluates (Table 1): Poll Each Read, Poll(t), Callback, Lease(t),
+// Volume Leases(tv,t), and Volume Leases with Delayed Invalidations
+// (tv,t,d), all against the sim engine.
+//
+// Shared modeling decisions (applied identically to every algorithm so that
+// relative comparisons are meaningful):
+//
+//   - Every protocol exchange counts both directions: a renewal is a request
+//     message plus a grant message; an invalidation is an invalidation
+//     message plus an acknowledgment.
+//   - A response carries the object payload only when the client's cached
+//     copy is missing or out of date; otherwise it is a small control
+//     message. Control messages cost sim.CtrlBytes, payloads add the object
+//     size.
+//   - Server consistency state is charged at sim.LeaseRecordBytes per lease,
+//     callback record, queued invalidation, or reachability-set entry, per
+//     Section 5.2.
+//   - The simulation is failure-free (like the paper's), so invalidation
+//     acknowledgments arrive immediately and server writes are never
+//     delayed; the fault-tolerance path (unreachable clients, reconnection)
+//     is exercised by the Delayed Invalidations algorithm's d parameter and
+//     by the live networked implementation in internal/server.
+package algo
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// objKey identifies an object globally (server + object id). A volume is
+// identified by the server name alone, as the paper's evaluation groups
+// files into one volume per server (Section 4.2).
+type objKey struct {
+	server, object string
+}
+
+// copyKey identifies one client's cached copy of one object.
+type copyKey struct {
+	client string
+	obj    objKey
+}
+
+// base carries the state every algorithm shares: the authoritative object
+// version at the server and each client's cached copy version.
+type base struct {
+	env    *sim.Env
+	vers   map[objKey]int64
+	copies map[copyKey]int64
+}
+
+func newBase(env *sim.Env) base {
+	return base{
+		env:    env,
+		vers:   make(map[objKey]int64),
+		copies: make(map[copyKey]int64),
+	}
+}
+
+// version returns the server's current version of k (0 if never written).
+func (b *base) version(k objKey) int64 { return b.vers[k] }
+
+// bump increments the server version of k.
+func (b *base) bump(k objKey) { b.vers[k]++ }
+
+// hasCurrentCopy reports whether the client's cached copy of k matches the
+// server version.
+func (b *base) hasCurrentCopy(ck copyKey) bool {
+	v, ok := b.copies[ck]
+	return ok && v == b.vers[ck.obj]
+}
+
+// hasCopy reports whether the client caches any copy of k (possibly stale).
+func (b *base) hasCopy(ck copyKey) bool {
+	_, ok := b.copies[ck]
+	return ok
+}
+
+// dropCopy deletes the client's cached copy (the protocol's response to an
+// invalidation: o.data <- NULL).
+func (b *base) dropCopy(ck copyKey) { delete(b.copies, ck) }
+
+// msg records one protocol message involving server.
+func (b *base) msg(now time.Time, server string, class metrics.MsgClass, bytes int64) {
+	b.env.Rec.Message(server, class, bytes, now)
+}
+
+// fetchResponse accounts the server's response to a validation or lease
+// request: a small control message if the client's copy is current, a data
+// message otherwise (and installs the fresh copy client-side). The class is
+// used for the no-payload case; payload responses are MsgData.
+func (b *base) fetchResponse(now time.Time, ck copyKey, size int64, class metrics.MsgClass) {
+	if b.hasCurrentCopy(ck) {
+		b.msg(now, ck.obj.server, class, sim.CtrlBytes)
+		return
+	}
+	b.msg(now, ck.obj.server, metrics.MsgData, sim.DataBytes(size))
+	b.copies[ck] = b.vers[ck.obj]
+}
+
+// chargeState adjusts the consistency-state size at server by delta lease
+// records.
+func (b *base) chargeState(now time.Time, server string, deltaRecords int) {
+	b.env.Rec.AdjustState(server, now, int64(deltaRecords)*sim.LeaseRecordBytes)
+}
+
+// leaseSet is a collection of leases (object or volume) with automatic
+// expiry: every grant charges one record of server state and schedules a
+// timer that releases the record the moment the lease expires. An optional
+// onExpire hook observes natural expirations (used by the delayed-
+// invalidation algorithm to start its inactivity clock).
+type leaseSet struct {
+	env      *sim.Env
+	leases   map[objKey]map[string]time.Time // key -> client -> expiry
+	onExpire func(now time.Time, k objKey, client string)
+}
+
+func newLeaseSet(env *sim.Env) *leaseSet {
+	return &leaseSet{env: env, leases: make(map[objKey]map[string]time.Time)}
+}
+
+// valid reports whether client holds an unexpired lease on k.
+func (ls *leaseSet) valid(now time.Time, k objKey, client string) bool {
+	exp, ok := ls.leases[k][client]
+	return ok && exp.After(now)
+}
+
+// expiry returns the client's lease expiry on k, if any.
+func (ls *leaseSet) expiry(k objKey, client string) (time.Time, bool) {
+	exp, ok := ls.leases[k][client]
+	return exp, ok
+}
+
+// grant gives client a lease on k until now+d, charging state if the client
+// did not already hold one.
+func (ls *leaseSet) grant(now time.Time, k objKey, client string, d time.Duration) {
+	m, ok := ls.leases[k]
+	if !ok {
+		m = make(map[string]time.Time)
+		ls.leases[k] = m
+	}
+	if _, held := m[client]; !held {
+		ls.env.Rec.AdjustState(k.server, now, sim.LeaseRecordBytes)
+	}
+	expire := now.Add(d)
+	m[client] = expire
+	ls.env.Schedule(expire, func(fireNow time.Time) {
+		cur, held := ls.leases[k][client]
+		if held && !cur.After(fireNow) {
+			ls.remove(fireNow, k, client)
+			if ls.onExpire != nil {
+				ls.onExpire(fireNow, k, client)
+			}
+		}
+	})
+}
+
+// revoke removes the client's lease on k immediately (server-driven
+// invalidation), releasing its state charge. It reports whether a lease was
+// held.
+func (ls *leaseSet) revoke(now time.Time, k objKey, client string) bool {
+	if _, held := ls.leases[k][client]; !held {
+		return false
+	}
+	ls.remove(now, k, client)
+	return true
+}
+
+// remove deletes the record and releases the state charge.
+func (ls *leaseSet) remove(now time.Time, k objKey, client string) {
+	delete(ls.leases[k], client)
+	if len(ls.leases[k]) == 0 {
+		delete(ls.leases, k)
+	}
+	ls.env.Rec.AdjustState(k.server, now, -sim.LeaseRecordBytes)
+}
+
+// holders returns, sorted for determinism, the clients holding valid leases
+// on k at now.
+func (ls *leaseSet) holders(now time.Time, k objKey) []string {
+	m := ls.leases[k]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for c, exp := range m {
+		if exp.After(now) {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clientLeases returns, sorted, the keys on which client holds a valid
+// lease whose server matches server.
+func (ls *leaseSet) clientLeases(now time.Time, server, client string) []objKey {
+	var out []objKey
+	for k, m := range ls.leases {
+		if k.server != server {
+			continue
+		}
+		if exp, ok := m[client]; ok && exp.After(now) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].object < out[j].object })
+	return out
+}
+
+// volKey is the lease key for a server's (single) volume.
+func volKey(server string) objKey { return objKey{server: server} }
+
+// groupedVolKey fragments a server into n volumes by object-name hash,
+// keeping the state charge on the server. n <= 1 yields the single-volume
+// key.
+func groupedVolKey(server, object string, n int) objKey {
+	if n <= 1 {
+		return volKey(server)
+	}
+	h := fnv32(object) % uint32(n)
+	return objKey{server: server, object: "\x00vol" + string(rune('0'+h%10)) + string(rune('0'+(h/10)%10))}
+}
+
+// fnv32 is a tiny FNV-1a hash for grouping.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

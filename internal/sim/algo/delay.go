@@ -1,0 +1,289 @@
+package algo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Forever disables the delayed-invalidation discard timer: clients stay in
+// the Inactive set (and their pending messages are retained) indefinitely,
+// the paper's Delay(tv, t, ∞) configuration.
+const Forever = time.Duration(math.MaxInt64)
+
+// csKey identifies a (client, server) pair.
+type csKey struct {
+	client, server string
+}
+
+// Delay implements Volume Leases with Delayed Invalidations (Section 3.2).
+// It extends Volume as follows:
+//
+//   - A write to an object whose lease holder's volume lease has expired
+//     sends no message; the server moves the holder to the volume's
+//     Inactive set and queues the invalidation on the holder's Pending
+//     Message list (releasing the object-lease record, charging one queued-
+//     message record).
+//   - When an inactive client renews its volume lease, all pending
+//     invalidations are batched into the lease response and acknowledged
+//     before the lease is granted.
+//   - After a client's volume lease has been expired for d seconds, the
+//     server discards the client's pending messages and remaining object
+//     leases and moves it to the Unreachable set; if the client ever
+//     returns, the reconnection protocol of Section 3.1.1 (MUST_RENEW_ALL /
+//     RENEW_OBJ_LEASES / combined invalidate+renew vector) resynchronizes
+//     it.
+type Delay struct {
+	base
+	tv, t, d time.Duration
+
+	volLeases *leaseSet
+	objLeases *leaseSet
+
+	// pending[client,server] is the set of objects whose invalidations are
+	// queued for an Inactive client; presence of the key means the client is
+	// in that volume's Inactive set.
+	pending map[csKey]map[objKey]struct{}
+	// unreachable marks clients that may have missed invalidations and must
+	// run the reconnection protocol before their next volume lease.
+	unreachable map[csKey]struct{}
+	// volExpiredAt records when a client's volume lease last expired, for
+	// the d-second inactivity clock.
+	volExpiredAt map[csKey]time.Time
+	// cached indexes the objects each client caches per server, so the
+	// reconnection protocol can enumerate them without scanning all copies.
+	cached map[csKey]map[string]struct{}
+}
+
+var _ sim.Algorithm = (*Delay)(nil)
+
+// NewDelay constructs Delayed Invalidations with volume timeout tv, object
+// timeout t, and inactive-discard time d (Forever for the paper's ∞).
+func NewDelay(env *sim.Env, tv, t, d time.Duration) *Delay {
+	dl := &Delay{
+		base:         newBase(env),
+		tv:           tv,
+		t:            t,
+		d:            d,
+		volLeases:    newLeaseSet(env),
+		objLeases:    newLeaseSet(env),
+		pending:      make(map[csKey]map[objKey]struct{}),
+		unreachable:  make(map[csKey]struct{}),
+		volExpiredAt: make(map[csKey]time.Time),
+		cached:       make(map[csKey]map[string]struct{}),
+	}
+	dl.volLeases.onExpire = dl.onVolumeExpire
+	return dl
+}
+
+// Name implements sim.Algorithm.
+func (dl *Delay) Name() string {
+	ds := "inf"
+	if dl.d != Forever {
+		ds = seconds(dl.d)
+	}
+	return fmt.Sprintf("Delay(%s,%s,%s)", seconds(dl.tv), seconds(dl.t), ds)
+}
+
+// onVolumeExpire starts the inactivity clock when a volume lease lapses
+// naturally.
+func (dl *Delay) onVolumeExpire(now time.Time, vk objKey, client string) {
+	cs := csKey{client, vk.server}
+	dl.volExpiredAt[cs] = now
+	if dl.d == Forever {
+		return
+	}
+	expiredAt := now
+	dl.env.Schedule(now.Add(dl.d), func(fireNow time.Time) {
+		// Skip if the client renewed (and possibly re-expired) in between.
+		if at, ok := dl.volExpiredAt[cs]; !ok || !at.Equal(expiredAt) {
+			return
+		}
+		if dl.volLeases.valid(fireNow, vk, client) {
+			return
+		}
+		dl.discard(fireNow, cs)
+	})
+}
+
+// discard implements the Inactive -> Unreachable transition: drop the
+// client's pending messages and object-lease records for this server; if it
+// held any, mark it unreachable.
+func (dl *Delay) discard(now time.Time, cs csKey) {
+	held := false
+	if pend, ok := dl.pending[cs]; ok {
+		dl.chargeState(now, cs.server, -len(pend)) // queued messages
+		dl.chargeState(now, cs.server, -1)         // inactive-set entry
+		delete(dl.pending, cs)
+		held = true
+	}
+	for _, k := range dl.objLeases.clientLeases(now, cs.server, cs.client) {
+		dl.objLeases.revoke(now, k, cs.client)
+		held = true
+	}
+	if held {
+		if _, already := dl.unreachable[cs]; !already {
+			dl.unreachable[cs] = struct{}{}
+			dl.chargeState(now, cs.server, +1)
+		}
+	}
+}
+
+// HandleRead implements sim.Algorithm.
+func (dl *Delay) HandleRead(now time.Time, e trace.Event) {
+	k := objKey{e.Server, e.Object}
+	vk := volKey(e.Server)
+	ck := copyKey{e.Client, k}
+	cs := csKey{e.Client, e.Server}
+
+	if !dl.volLeases.valid(now, vk, e.Client) {
+		dl.renewVolume(now, cs, vk)
+	}
+
+	if dl.objLeases.valid(now, k, e.Client) && dl.hasCopy(ck) {
+		dl.env.Rec.Read(!dl.hasCurrentCopy(ck))
+		return
+	}
+	dl.msg(now, e.Server, metrics.MsgObjLeaseReq, sim.CtrlBytes)
+	dl.fetch(now, ck, e.Size, metrics.MsgObjLease)
+	dl.objLeases.grant(now, k, e.Client, dl.t)
+	dl.env.Rec.Read(false)
+}
+
+// renewVolume performs the volume-lease renewal appropriate to the client's
+// server-side status: plain grant, pending-flush for Inactive clients, or
+// the full reconnection protocol for Unreachable ones.
+func (dl *Delay) renewVolume(now time.Time, cs csKey, vk objKey) {
+	switch {
+	case dl.isUnreachable(cs):
+		dl.reconnect(now, cs)
+	case dl.isInactive(cs):
+		dl.flushPending(now, cs)
+	default:
+		dl.msg(now, cs.server, metrics.MsgVolLeaseReq, sim.CtrlBytes)
+		dl.msg(now, cs.server, metrics.MsgVolLease, sim.CtrlBytes)
+	}
+	delete(dl.volExpiredAt, cs)
+	dl.volLeases.grant(now, vk, cs.client, dl.tv)
+}
+
+func (dl *Delay) isUnreachable(cs csKey) bool {
+	_, ok := dl.unreachable[cs]
+	return ok
+}
+
+func (dl *Delay) isInactive(cs csKey) bool {
+	_, ok := dl.pending[cs]
+	return ok
+}
+
+// flushPending delivers an Inactive client's queued invalidations batched
+// into the volume-lease response: request, combined response, ack.
+func (dl *Delay) flushPending(now time.Time, cs csKey) {
+	pend := dl.pending[cs]
+	dl.msg(now, cs.server, metrics.MsgVolLeaseReq, sim.CtrlBytes)
+	dl.msg(now, cs.server, metrics.MsgInvalRenew,
+		sim.CtrlBytes+int64(len(pend))*sim.LeaseRecordBytes)
+	dl.msg(now, cs.server, metrics.MsgAckInvalidate, sim.CtrlBytes)
+	for k := range pend {
+		dl.dropCachedCopy(copyKey{cs.client, k})
+	}
+	dl.chargeState(now, cs.server, -len(pend)) // queued messages released
+	dl.chargeState(now, cs.server, -1)         // inactive-set entry released
+	delete(dl.pending, cs)
+}
+
+// reconnect runs the Section 3.1.1 protocol for a returning Unreachable
+// client: the server demands a full renewal, the client reports every
+// cached object with its version, and the server invalidates the stale ones
+// and re-grants leases on the current ones.
+func (dl *Delay) reconnect(now time.Time, cs csKey) {
+	objs := dl.cachedObjects(cs)
+	dl.msg(now, cs.server, metrics.MsgVolLeaseReq, sim.CtrlBytes)
+	dl.msg(now, cs.server, metrics.MsgMustRenewAll, sim.CtrlBytes)
+	dl.msg(now, cs.server, metrics.MsgRenewObjLeases,
+		sim.CtrlBytes+int64(len(objs))*sim.LeaseRecordBytes)
+	dl.msg(now, cs.server, metrics.MsgInvalRenew,
+		sim.CtrlBytes+int64(len(objs))*sim.LeaseRecordBytes)
+	dl.msg(now, cs.server, metrics.MsgAckInvalidate, sim.CtrlBytes)
+	dl.msg(now, cs.server, metrics.MsgVolLease, sim.CtrlBytes)
+	for _, object := range objs {
+		k := objKey{cs.server, object}
+		ck := copyKey{cs.client, k}
+		if dl.hasCurrentCopy(ck) {
+			dl.objLeases.grant(now, k, cs.client, dl.t)
+		} else {
+			dl.dropCachedCopy(ck)
+		}
+	}
+	delete(dl.unreachable, cs)
+	dl.chargeState(now, cs.server, -1)
+}
+
+// HandleWrite implements sim.Algorithm: invalidate holders with valid
+// volume leases eagerly; queue invalidations for holders whose volume lease
+// has expired.
+func (dl *Delay) HandleWrite(now time.Time, e trace.Event) {
+	k := objKey{e.Server, e.Object}
+	vk := volKey(e.Server)
+	for _, client := range dl.objLeases.holders(now, k) {
+		cs := csKey{client, e.Server}
+		if dl.volLeases.valid(now, vk, client) {
+			dl.msg(now, e.Server, metrics.MsgInvalidate, sim.CtrlBytes)
+			dl.msg(now, e.Server, metrics.MsgAckInvalidate, sim.CtrlBytes)
+			dl.objLeases.revoke(now, k, client)
+			dl.dropCachedCopy(copyKey{client, k})
+			continue
+		}
+		// Inactive path: no message now; queue for the next renewal.
+		if _, ok := dl.pending[cs]; !ok {
+			dl.pending[cs] = make(map[objKey]struct{})
+			dl.chargeState(now, e.Server, +1) // inactive-set entry
+		}
+		dl.pending[cs][k] = struct{}{}
+		dl.chargeState(now, e.Server, +1) // queued message
+		dl.objLeases.revoke(now, k, client)
+	}
+	dl.bump(k)
+	dl.env.Rec.Write(0)
+}
+
+// fetch wraps fetchResponse, maintaining the per-client cached-object index.
+func (dl *Delay) fetch(now time.Time, ck copyKey, size int64, class metrics.MsgClass) {
+	dl.fetchResponse(now, ck, size, class)
+	cs := csKey{ck.client, ck.obj.server}
+	set, ok := dl.cached[cs]
+	if !ok {
+		set = make(map[string]struct{})
+		dl.cached[cs] = set
+	}
+	set[ck.obj.object] = struct{}{}
+}
+
+// dropCachedCopy removes a client copy and its index entry.
+func (dl *Delay) dropCachedCopy(ck copyKey) {
+	dl.dropCopy(ck)
+	cs := csKey{ck.client, ck.obj.server}
+	if set, ok := dl.cached[cs]; ok {
+		delete(set, ck.obj.object)
+		if len(set) == 0 {
+			delete(dl.cached, cs)
+		}
+	}
+}
+
+// cachedObjects lists, sorted, the objects the client caches from server.
+func (dl *Delay) cachedObjects(cs csKey) []string {
+	set := dl.cached[cs]
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

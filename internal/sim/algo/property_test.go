@@ -1,0 +1,238 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// randomTrace builds a random but sorted trace: nClients clients reading
+// nObjects objects across two servers with interleaved writes.
+func randomTrace(seed int64, events int) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	servers := []string{"s1", "s2"}
+	objects := []string{"a", "b", "c", "d", "e"}
+	clients := []string{"c1", "c2", "c3", "c4"}
+	var tr trace.Trace
+	sec := 0.0
+	for i := 0; i < events; i++ {
+		sec += rng.Float64() * 40
+		srv := servers[rng.Intn(len(servers))]
+		obj := objects[rng.Intn(len(objects))]
+		if rng.Intn(10) < 8 {
+			tr = append(tr, trace.Event{
+				Time: clock.At(sec), Op: trace.OpRead,
+				Client: clients[rng.Intn(len(clients))],
+				Server: srv, Object: obj, Size: int64(rng.Intn(4096)),
+			})
+		} else {
+			tr = append(tr, trace.Event{
+				Time: clock.At(sec), Op: trace.OpWrite,
+				Server: srv, Object: obj, Size: int64(rng.Intn(4096)),
+			})
+		}
+	}
+	tr.Sort()
+	return tr
+}
+
+// runSpec simulates and returns the recorder.
+func runSpec(t *testing.T, tr trace.Trace, mk func(env *sim.Env) sim.Algorithm) *metrics.Recorder {
+	t.Helper()
+	rec, _, err := sim.Simulate(tr, mk)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return rec
+}
+
+func TestQuickStrongAlgorithmsNeverStale(t *testing.T) {
+	mks := map[string]func(env *sim.Env) sim.Algorithm{
+		"PollEachRead": func(env *sim.Env) sim.Algorithm { return NewPollEachRead(env) },
+		"Callback":     func(env *sim.Env) sim.Algorithm { return NewCallback(env) },
+		"Lease":        func(env *sim.Env) sim.Algorithm { return NewLease(env, 90*time.Second) },
+		"Volume":       func(env *sim.Env) sim.Algorithm { return NewVolume(env, 15*time.Second, 200*time.Second) },
+		"VolumeGroup4": func(env *sim.Env) sim.Algorithm { return NewVolumeGrouped(env, 15*time.Second, 200*time.Second, 4) },
+		"DelayInf":     func(env *sim.Env) sim.Algorithm { return NewDelay(env, 15*time.Second, 200*time.Second, Forever) },
+		"DelayD": func(env *sim.Env) sim.Algorithm {
+			return NewDelay(env, 15*time.Second, 200*time.Second, 40*time.Second)
+		},
+	}
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 400)
+		for name, mk := range mks {
+			rec := runSpec(t, tr, mk)
+			if _, stale := rec.ReadStats(); stale != 0 {
+				t.Logf("seed %d: %s served %d stale reads", seed, name, stale)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDelayNeverExceedsVolumeMessages(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 400)
+		vol := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewVolume(env, 15*time.Second, 200*time.Second)
+		})
+		del := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewDelay(env, 15*time.Second, 200*time.Second, Forever)
+		})
+		if del.Totals().Messages > vol.Totals().Messages {
+			t.Logf("seed %d: Delay %d msgs > Volume %d", seed,
+				del.Totals().Messages, vol.Totals().Messages)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVolumeNeverBeatsLeaseAtSameT(t *testing.T) {
+	// With identical object timeouts, Volume = Lease + volume renewals, so
+	// Volume's message count is always >= Lease's.
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 400)
+		lease := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewLease(env, 200*time.Second)
+		})
+		vol := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewVolume(env, 15*time.Second, 200*time.Second)
+		})
+		return vol.Totals().Messages >= lease.Totals().Messages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGroupedVolumeCostsAtLeastSingle(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 300)
+		single := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewVolumeGrouped(env, 15*time.Second, 200*time.Second, 1)
+		})
+		grouped := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewVolumeGrouped(env, 15*time.Second, 200*time.Second, 8)
+		})
+		return grouped.Totals().Messages >= single.Totals().Messages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStateNeverNegativeAndDrains(t *testing.T) {
+	// After the engine drains all timers, every lease has expired, so
+	// lease-based algorithms must hold zero state (Delay may retain
+	// unreachable-set entries; Callback retains callbacks).
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 300)
+		for _, tc := range []struct {
+			name    string
+			mk      func(env *sim.Env) sim.Algorithm
+			mayKeep bool
+		}{
+			{"lease", func(env *sim.Env) sim.Algorithm { return NewLease(env, 90*time.Second) }, false},
+			{"volume", func(env *sim.Env) sim.Algorithm { return NewVolume(env, 15*time.Second, 90*time.Second) }, false},
+			{"delay", func(env *sim.Env) sim.Algorithm { return NewDelay(env, 15*time.Second, 90*time.Second, 40*time.Second) }, true},
+		} {
+			rec := runSpec(t, tr, tc.mk)
+			for _, name := range rec.Servers() {
+				ss, _ := rec.Server(name)
+				if ss.State.Current() < 0 {
+					t.Logf("seed %d: %s ended with negative state %d at %s",
+						seed, tc.name, ss.State.Current(), name)
+					return false
+				}
+				if !tc.mayKeep && ss.State.Current() != 0 {
+					t.Logf("seed %d: %s retained %d bytes at %s after drain",
+						seed, tc.name, ss.State.Current(), name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPollCheaperThanPollEachRead(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 300)
+		per := runSpec(t, tr, func(env *sim.Env) sim.Algorithm { return NewPollEachRead(env) })
+		poll := runSpec(t, tr, func(env *sim.Env) sim.Algorithm { return NewPoll(env, 60*time.Second) })
+		return poll.Totals().Messages <= per.Totals().Messages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMessageCountsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed, 200)
+		a := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewDelay(env, 15*time.Second, 90*time.Second, 40*time.Second)
+		})
+		b := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+			return NewDelay(env, 15*time.Second, 90*time.Second, 40*time.Second)
+		})
+		return a.Totals() == b.Totals()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupedVolumeDistinctRenewals(t *testing.T) {
+	// Two objects hashed to different volumes need two renewals; the stock
+	// single volume needs one.
+	tr := trace.Trace{}
+	// Find two objects in different groups of 8.
+	var o1, o2 string
+	for i := 0; i < 100 && o2 == ""; i++ {
+		o := fmt.Sprintf("obj-%d", i)
+		if o1 == "" {
+			o1 = o
+			continue
+		}
+		if fnv32(o)%8 != fnv32(o1)%8 {
+			o2 = o
+		}
+	}
+	if o2 == "" {
+		t.Fatal("could not find objects in distinct groups")
+	}
+	tr = append(tr,
+		trace.Event{Time: clock.At(0), Op: trace.OpRead, Client: "c", Server: "s", Object: o1, Size: 1},
+		trace.Event{Time: clock.At(1), Op: trace.OpRead, Client: "c", Server: "s", Object: o2, Size: 1},
+	)
+	grouped := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+		return NewVolumeGrouped(env, 10*time.Second, 100*time.Second, 8)
+	})
+	single := runSpec(t, tr, func(env *sim.Env) sim.Algorithm {
+		return NewVolume(env, 10*time.Second, 100*time.Second)
+	})
+	g := grouped.Totals().ByClass[metrics.MsgVolLeaseReq]
+	s := single.Totals().ByClass[metrics.MsgVolLeaseReq]
+	if g != 2 || s != 1 {
+		t.Errorf("volume renewals: grouped=%d (want 2), single=%d (want 1)", g, s)
+	}
+}

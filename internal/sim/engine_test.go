@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// fake records the order in which it sees events and timer fires.
+type fake struct {
+	env   *Env
+	order []string
+}
+
+func (f *fake) Name() string { return "fake" }
+func (f *fake) HandleRead(now time.Time, e trace.Event) {
+	f.order = append(f.order, "read@"+itoa(int(clock.Seconds(now))))
+}
+func (f *fake) HandleWrite(now time.Time, e trace.Event) {
+	f.order = append(f.order, "write@"+itoa(int(clock.Seconds(now))))
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func rd(sec float64) trace.Event {
+	return trace.Event{Time: clock.At(sec), Op: trace.OpRead, Client: "c", Server: "s", Object: "o", Size: 1}
+}
+
+func wr(sec float64) trace.Event {
+	return trace.Event{Time: clock.At(sec), Op: trace.OpWrite, Server: "s", Object: "o", Size: 1}
+}
+
+func TestRunDispatchesInOrder(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	f := &fake{env: eng.Env()}
+	res, err := eng.Run(trace.Trace{rd(0), wr(5), rd(10)}, f)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"read@0", "write@5", "read@10"}
+	if len(f.order) != len(want) {
+		t.Fatalf("order = %v, want %v", f.order, want)
+	}
+	for i := range want {
+		if f.order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", f.order, want)
+		}
+	}
+	if res.Events != 3 || res.Algorithm != "fake" {
+		t.Errorf("result = %+v", res)
+	}
+	if !res.End.Equal(clock.At(10)) {
+		t.Errorf("End = %v, want 10s", clock.Seconds(res.End))
+	}
+}
+
+func TestRunRejectsUnsortedTrace(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	_, err := eng.Run(trace.Trace{rd(10), rd(0)}, &fake{})
+	if err == nil {
+		t.Fatal("unsorted trace accepted")
+	}
+}
+
+func TestRunRejectsInvalidEvent(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	bad := trace.Event{Time: clock.At(0), Op: trace.OpRead, Server: "s", Object: "o"}
+	_, err := eng.Run(trace.Trace{bad}, &fake{})
+	if err == nil {
+		t.Fatal("invalid event accepted")
+	}
+}
+
+func TestTimersInterleaveWithEvents(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	f := &fake{env: eng.Env()}
+	eng.Env().Schedule(clock.At(3), func(now time.Time) {
+		f.order = append(f.order, "timer@"+itoa(int(clock.Seconds(now))))
+	})
+	eng.Env().Schedule(clock.At(7), func(now time.Time) {
+		f.order = append(f.order, "timer@"+itoa(int(clock.Seconds(now))))
+	})
+	if _, err := eng.Run(trace.Trace{rd(0), rd(5), rd(10)}, f); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"read@0", "timer@3", "read@5", "timer@7", "read@10"}
+	for i := range want {
+		if i >= len(f.order) || f.order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", f.order, want)
+		}
+	}
+}
+
+func TestTimersDrainAfterLastEvent(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	f := &fake{env: eng.Env()}
+	eng.Env().Schedule(clock.At(100), func(now time.Time) {
+		f.order = append(f.order, "late")
+	})
+	res, err := eng.Run(trace.Trace{rd(0)}, f)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(f.order) != 2 || f.order[1] != "late" {
+		t.Fatalf("order = %v, want [read@0 late]", f.order)
+	}
+	if !res.End.Equal(clock.At(100)) {
+		t.Errorf("End = %v, want 100s (last timer)", clock.Seconds(res.End))
+	}
+}
+
+func TestTimersFIFOAmongEqualDeadlines(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	f := &fake{env: eng.Env()}
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.Env().Schedule(clock.At(1), func(time.Time) {
+			f.order = append(f.order, "t"+itoa(i))
+		})
+	}
+	if _, err := eng.Run(trace.Trace{rd(2)}, f); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"t0", "t1", "t2", "t3", "t4", "read@2"}
+	for i := range want {
+		if f.order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", f.order, want)
+		}
+	}
+}
+
+func TestTimerScheduledInPastFiresBeforeNextEvent(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	f := &fake{env: eng.Env()}
+	first := true
+	hooked := &hookAlgo{fake: f, onRead: func(now time.Time) {
+		if first {
+			first = false
+			eng.Env().Schedule(now.Add(-time.Second), func(time.Time) {
+				f.order = append(f.order, "past")
+			})
+		}
+	}}
+	if _, err := eng.Run(trace.Trace{rd(5), rd(6)}, hooked); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"read@5", "past", "read@6"}
+	for i := range want {
+		if f.order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", f.order, want)
+		}
+	}
+}
+
+type hookAlgo struct {
+	fake   *fake
+	onRead func(now time.Time)
+}
+
+func (h *hookAlgo) Name() string { return "hook" }
+func (h *hookAlgo) HandleRead(now time.Time, e trace.Event) {
+	h.fake.HandleRead(now, e)
+	h.onRead(now)
+}
+func (h *hookAlgo) HandleWrite(now time.Time, e trace.Event) { h.fake.HandleWrite(now, e) }
+
+func TestTimersScheduledByTimersFire(t *testing.T) {
+	rec := metrics.NewRecorder()
+	eng := NewEngine(rec)
+	f := &fake{env: eng.Env()}
+	eng.Env().Schedule(clock.At(10), func(now time.Time) {
+		f.order = append(f.order, "a")
+		eng.Env().Schedule(now.Add(5*time.Second), func(time.Time) {
+			f.order = append(f.order, "b")
+		})
+	})
+	res, err := eng.Run(trace.Trace{rd(0)}, f)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(f.order) != 3 || f.order[2] != "b" {
+		t.Fatalf("order = %v", f.order)
+	}
+	if !res.End.Equal(clock.At(15)) {
+		t.Errorf("End = %v, want 15", clock.Seconds(res.End))
+	}
+}
+
+func TestSimulateConvenience(t *testing.T) {
+	rec, res, err := Simulate(trace.Trace{rd(0)}, func(env *Env) Algorithm {
+		return &fake{env: env}
+	})
+	if err != nil || rec == nil || res.Events != 1 {
+		t.Fatalf("Simulate = %v %+v %v", rec, res, err)
+	}
+}
+
+func TestDataBytes(t *testing.T) {
+	if DataBytes(100) != CtrlBytes+100 {
+		t.Errorf("DataBytes(100) = %d", DataBytes(100))
+	}
+}

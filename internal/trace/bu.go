@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// ReadBU parses the Boston University Mosaic trace format (Cunha, Bestavros,
+// Crovella, BU-CS-95-010), the workload used by the paper's evaluation. Each
+// record is one line:
+//
+//	<machine> <timestamp> <userID> "<URL>" <docSize> <retrievalTime>
+//
+// where timestamp is UNIX seconds (possibly fractional), docSize is the
+// document size in bytes, and retrievalTime is in seconds (0 for local cache
+// hits). The BU traces record *all* accesses including cache hits, which is
+// exactly what a consistency simulation needs: every access is a cache read.
+//
+// Mapping to our event model:
+//   - Client = "<machine>:<userID>" (one browser session per user per host).
+//   - Server = the URL's host part (the paper groups objects into one volume
+//     per server).
+//   - Object = the full URL path.
+//
+// Timestamps are rebased so the earliest record is at trace epoch + its
+// original offset from the first record; absolute wall time is irrelevant to
+// the algorithms, only gaps matter.
+func ReadBU(r io.Reader) (Trace, error) {
+	var (
+		tr    Trace
+		base  float64
+		first = true
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseBULine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: BU line %d: %w", lineNo, err)
+		}
+		if first {
+			base = rec.ts
+			first = false
+		}
+		server, object := splitURL(rec.url)
+		tr = append(tr, Event{
+			Time:   clock.At(rec.ts - base),
+			Op:     OpRead,
+			Client: rec.machine + ":" + rec.user,
+			Server: server,
+			Object: object,
+			Size:   rec.size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: BU scan: %w", err)
+	}
+	return tr, nil
+}
+
+type buRecord struct {
+	machine string
+	ts      float64
+	user    string
+	url     string
+	size    int64
+}
+
+func parseBULine(line string) (buRecord, error) {
+	// The URL is quoted and may contain spaces (rare but possible); split
+	// around the quotes first.
+	open := strings.IndexByte(line, '"')
+	if open < 0 {
+		return buRecord{}, fmt.Errorf("no quoted URL")
+	}
+	close := strings.IndexByte(line[open+1:], '"')
+	if close < 0 {
+		return buRecord{}, fmt.Errorf("unterminated URL quote")
+	}
+	close += open + 1
+	head := strings.Fields(line[:open])
+	tail := strings.Fields(line[close+1:])
+	if len(head) != 3 {
+		return buRecord{}, fmt.Errorf("want 3 fields before URL, got %d", len(head))
+	}
+	if len(tail) < 1 {
+		return buRecord{}, fmt.Errorf("missing size after URL")
+	}
+	ts, err := strconv.ParseFloat(head[1], 64)
+	if err != nil {
+		return buRecord{}, fmt.Errorf("bad timestamp %q: %w", head[1], err)
+	}
+	size, err := strconv.ParseInt(tail[0], 10, 64)
+	if err != nil {
+		return buRecord{}, fmt.Errorf("bad size %q: %w", tail[0], err)
+	}
+	return buRecord{
+		machine: head[0],
+		ts:      ts,
+		user:    head[2],
+		url:     line[open+1 : close],
+		size:    size,
+	}, nil
+}
+
+// splitURL maps a URL to (server, object). Objects with no host (e.g.
+// file: URLs or relative references) are assigned to the pseudo-server
+// "local".
+func splitURL(url string) (server, object string) {
+	rest := url
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	} else {
+		return "local", url
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		server, object = rest[:i], rest[i:]
+	} else {
+		server, object = rest, "/"
+	}
+	server = strings.ToLower(server)
+	// Strip an explicit default port.
+	server = strings.TrimSuffix(server, ":80")
+	if server == "" {
+		server = "local"
+	}
+	return server, object
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/clock"
+)
+
+// The text trace format is one event per line:
+//
+//	R <seconds> <client> <server> <object> <size>
+//	W <seconds> <server> <object> <size>
+//
+// Lines beginning with '#' and blank lines are ignored. Fields are
+// whitespace-separated; ids must not contain whitespace.
+
+// Write serializes the trace in the text format.
+func Write(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range tr {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		var err error
+		switch e.Op {
+		case OpRead:
+			_, err = fmt.Fprintf(bw, "R %.6f %s %s %s %d\n",
+				e.Seconds(), e.Client, e.Server, e.Object, e.Size)
+		case OpWrite:
+			_, err = fmt.Fprintf(bw, "W %.6f %s %s %d\n",
+				e.Seconds(), e.Server, e.Object, e.Size)
+		}
+		if err != nil {
+			return fmt.Errorf("trace: write event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Read parses a text-format trace. The returned trace preserves file order;
+// callers needing time order should call Sort.
+func Read(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		tr = append(tr, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return tr, nil
+}
+
+func parseLine(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Event{}, fmt.Errorf("empty line")
+	}
+	switch fields[0] {
+	case "R":
+		if len(fields) != 6 {
+			return Event{}, fmt.Errorf("read record needs 6 fields, got %d", len(fields))
+		}
+		secs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad timestamp %q: %w", fields[1], err)
+		}
+		size, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad size %q: %w", fields[5], err)
+		}
+		e := Event{
+			Time:   clock.At(secs),
+			Op:     OpRead,
+			Client: fields[2],
+			Server: fields[3],
+			Object: fields[4],
+			Size:   size,
+		}
+		return e, e.Validate()
+	case "W":
+		if len(fields) != 5 {
+			return Event{}, fmt.Errorf("write record needs 5 fields, got %d", len(fields))
+		}
+		secs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad timestamp %q: %w", fields[1], err)
+		}
+		size, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad size %q: %w", fields[4], err)
+		}
+		e := Event{
+			Time:   clock.At(secs),
+			Op:     OpWrite,
+			Server: fields[2],
+			Object: fields[3],
+			Size:   size,
+		}
+		return e, e.Validate()
+	default:
+		return Event{}, fmt.Errorf("unknown record type %q", fields[0])
+	}
+}

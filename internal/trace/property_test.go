@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+)
+
+// genTrace builds a random valid trace (unsorted).
+func genTrace(rng *rand.Rand, n int) Trace {
+	tr := make(Trace, 0, n)
+	for i := 0; i < n; i++ {
+		e := Event{
+			Time:   clock.At(rng.Float64() * 1e6),
+			Server: fmt.Sprintf("s%d", rng.Intn(5)),
+			Object: fmt.Sprintf("/o/%d", rng.Intn(20)),
+			Size:   int64(rng.Intn(1 << 20)),
+		}
+		if rng.Intn(4) == 0 {
+			e.Op = OpWrite
+		} else {
+			e.Op = OpRead
+			e.Client = fmt.Sprintf("c%d", rng.Intn(8))
+		}
+		tr = append(tr, e)
+	}
+	return tr
+}
+
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := genTrace(rng, int(sz)%64+1)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Logf("Write: %v", err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("Read: %v", err)
+			return false
+		}
+		if len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			a, b := tr[i], got[i]
+			if a.Op != b.Op || a.Client != b.Client || a.Server != b.Server ||
+				a.Object != b.Object || a.Size != b.Size {
+				return false
+			}
+			if d := a.Time.Sub(b.Time); d > 1000 || d < -1000 { // microsecond text precision
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSortIsStableTotalOrder(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := genTrace(rng, int(sz)%128+2)
+		tr.Sort()
+		for i := 1; i < len(tr); i++ {
+			a, b := tr[i-1], tr[i]
+			if b.Time.Before(a.Time) {
+				return false
+			}
+			if a.Time.Equal(b.Time) && a.Op == OpRead && b.Op == OpWrite {
+				return false // writes order before reads at the same instant
+			}
+		}
+		// Sorting twice is a no-op.
+		again := make(Trace, len(tr))
+		copy(again, tr)
+		again.Sort()
+		for i := range tr {
+			if tr[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergePreservesEvents(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genTrace(rng, 20)
+		b := genTrace(rng, 30)
+		m := Merge(a, b)
+		if len(m) != 50 {
+			return false
+		}
+		count := func(tr Trace) map[Event]int {
+			out := make(map[Event]int)
+			for _, e := range tr {
+				out[e]++
+			}
+			return out
+		}
+		ca, cb, cm := count(a), count(b), count(m)
+		for e, n := range ca {
+			cb[e] += n
+		}
+		if len(cb) != len(cm) {
+			return false
+		}
+		for e, n := range cb {
+			if cm[e] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace defines the timestamped read/write event model the
+// simulator consumes, a plain-text trace format for storing workloads, and a
+// parser for the Boston University Mosaic traces (Cunha, Bestavros, Crovella
+// 1995) the paper's evaluation is based on.
+//
+// A trace is an ordered sequence of events. Read events come from clients;
+// write events are applied at servers (in the paper they are synthesized —
+// see package workload).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Op is the kind of a trace event.
+type Op int
+
+// Event kinds.
+const (
+	// OpRead is a client read (cache access) of an object.
+	OpRead Op = iota + 1
+	// OpWrite is a server-side modification of an object.
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (op Op) String() string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Event is one timestamped trace record. For OpWrite events Client is empty.
+type Event struct {
+	Time   time.Time
+	Op     Op
+	Client string // reading client id; empty for writes
+	Server string // server (= volume) id
+	Object string // object id, unique within the server
+	Size   int64  // object size in bytes
+}
+
+// Seconds returns the event time as seconds since the trace epoch.
+func (e Event) Seconds() float64 { return clock.Seconds(e.Time) }
+
+// Validate reports whether the event is structurally well formed.
+func (e Event) Validate() error {
+	switch e.Op {
+	case OpRead:
+		if e.Client == "" {
+			return fmt.Errorf("read event at %v missing client", e.Time)
+		}
+	case OpWrite:
+	default:
+		return fmt.Errorf("event at %v has invalid op %d", e.Time, int(e.Op))
+	}
+	if e.Server == "" {
+		return fmt.Errorf("%s event at %v missing server", e.Op, e.Time)
+	}
+	if e.Object == "" {
+		return fmt.Errorf("%s event at %v missing object", e.Op, e.Time)
+	}
+	if e.Size < 0 {
+		return fmt.Errorf("%s event at %v has negative size %d", e.Op, e.Time, e.Size)
+	}
+	return nil
+}
+
+// Trace is an ordered list of events.
+type Trace []Event
+
+// Sort orders the trace by time, breaking ties by placing writes before
+// reads (so a same-instant read observes the write, the conservative choice
+// for consistency accounting) and then by server/object/client for
+// determinism.
+func (tr Trace) Sort() {
+	sort.SliceStable(tr, func(i, j int) bool {
+		a, b := tr[i], tr[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Op != b.Op {
+			return a.Op == OpWrite
+		}
+		if a.Server != b.Server {
+			return a.Server < b.Server
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Client < b.Client
+	})
+}
+
+// Merge combines traces into a single sorted trace.
+func Merge(traces ...Trace) Trace {
+	var total int
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make(Trace, 0, total)
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	out.Sort()
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Events   int
+	Reads    int
+	Writes   int
+	Clients  int
+	Servers  int
+	Objects  int // distinct (server, object) pairs
+	Start    time.Time
+	End      time.Time
+	Duration time.Duration
+}
+
+// Summarize computes aggregate statistics for the trace.
+func Summarize(tr Trace) Stats {
+	var st Stats
+	st.Events = len(tr)
+	clients := make(map[string]struct{})
+	servers := make(map[string]struct{})
+	objects := make(map[string]struct{})
+	for i, e := range tr {
+		switch e.Op {
+		case OpRead:
+			st.Reads++
+			clients[e.Client] = struct{}{}
+		case OpWrite:
+			st.Writes++
+		}
+		servers[e.Server] = struct{}{}
+		objects[e.Server+"\x00"+e.Object] = struct{}{}
+		if i == 0 || e.Time.Before(st.Start) {
+			st.Start = e.Time
+		}
+		if i == 0 || e.Time.After(st.End) {
+			st.End = e.Time
+		}
+	}
+	st.Clients = len(clients)
+	st.Servers = len(servers)
+	st.Objects = len(objects)
+	if st.Events > 0 {
+		st.Duration = st.End.Sub(st.Start)
+	}
+	return st
+}
+
+// ServerReadCounts returns read counts per server, for selecting the "most
+// popular" servers the way Section 4.2 does.
+func ServerReadCounts(tr Trace) map[string]int {
+	counts := make(map[string]int)
+	for _, e := range tr {
+		if e.Op == OpRead {
+			counts[e.Server]++
+		}
+	}
+	return counts
+}
+
+// TopServers returns the n servers with the most reads, descending, ties
+// broken by name. If fewer than n servers exist, all are returned.
+func TopServers(tr Trace, n int) []string {
+	counts := ServerReadCounts(tr)
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if counts[names[i]] != counts[names[j]] {
+			return counts[names[i]] > counts[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > n {
+		names = names[:n]
+	}
+	return names
+}
+
+// FilterServers returns the sub-trace touching only the given servers.
+func FilterServers(tr Trace, servers []string) Trace {
+	keep := make(map[string]struct{}, len(servers))
+	for _, s := range servers {
+		keep[s] = struct{}{}
+	}
+	out := make(Trace, 0, len(tr))
+	for _, e := range tr {
+		if _, ok := keep[e.Server]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func read(sec float64, client, server, object string, size int64) Event {
+	return Event{Time: clock.At(sec), Op: OpRead, Client: client, Server: server, Object: object, Size: size}
+}
+
+func write(sec float64, server, object string, size int64) Event {
+	return Event{Time: clock.At(sec), Op: OpWrite, Server: server, Object: object, Size: size}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Errorf("Op strings wrong: %v %v", OpRead, OpWrite)
+	}
+	if got := Op(9).String(); got != "op(9)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		e       Event
+		wantErr bool
+	}{
+		{"valid read", read(0, "c", "s", "o", 1), false},
+		{"valid write", write(0, "s", "o", 1), false},
+		{"read no client", Event{Op: OpRead, Server: "s", Object: "o"}, true},
+		{"no server", Event{Op: OpWrite, Object: "o"}, true},
+		{"no object", Event{Op: OpWrite, Server: "s"}, true},
+		{"bad op", Event{Op: 0, Server: "s", Object: "o"}, true},
+		{"negative size", write(0, "s", "o", -1), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.e.Validate()
+			if (err != nil) != c.wantErr {
+				t.Errorf("Validate() = %v, wantErr=%v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestSortOrdersByTimeWritesFirst(t *testing.T) {
+	tr := Trace{
+		read(5, "c", "s", "o", 1),
+		write(5, "s", "o", 1),
+		read(1, "c", "s", "o", 1),
+	}
+	tr.Sort()
+	if tr[0].Seconds() != 1 {
+		t.Fatalf("first event at %v, want 1s", tr[0].Seconds())
+	}
+	if tr[1].Op != OpWrite || tr[2].Op != OpRead {
+		t.Fatalf("same-instant tie: got %v then %v, want write then read", tr[1].Op, tr[2].Op)
+	}
+}
+
+func TestSortDeterministicTieBreak(t *testing.T) {
+	tr := Trace{
+		read(1, "c2", "s", "o", 1),
+		read(1, "c1", "s", "o", 1),
+		read(1, "c1", "s", "a", 1),
+	}
+	tr.Sort()
+	if tr[0].Object != "a" || tr[1].Client != "c1" || tr[2].Client != "c2" {
+		t.Errorf("tie-break order wrong: %+v", tr)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	reads := Trace{read(1, "c", "s", "o", 1), read(3, "c", "s", "o", 1)}
+	writes := Trace{write(2, "s", "o", 1)}
+	merged := Merge(reads, writes)
+	if len(merged) != 3 {
+		t.Fatalf("merged len = %d, want 3", len(merged))
+	}
+	if merged[1].Op != OpWrite {
+		t.Errorf("middle event = %v, want write", merged[1].Op)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := Trace{
+		read(0, "c1", "s1", "o1", 1),
+		read(10, "c2", "s1", "o2", 1),
+		read(20, "c1", "s2", "o1", 1), // same object name, different server
+		write(5, "s1", "o1", 1),
+	}
+	st := Summarize(tr)
+	if st.Events != 4 || st.Reads != 3 || st.Writes != 1 {
+		t.Errorf("counts wrong: %+v", st)
+	}
+	if st.Clients != 2 || st.Servers != 2 || st.Objects != 3 {
+		t.Errorf("cardinalities wrong: %+v", st)
+	}
+	if st.Duration != 20*time.Second {
+		t.Errorf("Duration = %v, want 20s", st.Duration)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.Events != 0 || st.Duration != 0 {
+		t.Errorf("empty Summarize = %+v", st)
+	}
+}
+
+func TestTopServersAndFilter(t *testing.T) {
+	tr := Trace{
+		read(0, "c", "s1", "o", 1),
+		read(1, "c", "s1", "o", 1),
+		read(2, "c", "s2", "o", 1),
+		read(3, "c", "s3", "o", 1),
+		read(4, "c", "s3", "o", 1),
+		read(5, "c", "s3", "o", 1),
+	}
+	top := TopServers(tr, 2)
+	if len(top) != 2 || top[0] != "s3" || top[1] != "s1" {
+		t.Fatalf("TopServers = %v, want [s3 s1]", top)
+	}
+	sub := FilterServers(tr, top)
+	if len(sub) != 5 {
+		t.Errorf("FilterServers kept %d events, want 5", len(sub))
+	}
+	for _, e := range sub {
+		if e.Server == "s2" {
+			t.Errorf("filter kept excluded server s2")
+		}
+	}
+}
+
+func TestTopServersFewerThanN(t *testing.T) {
+	tr := Trace{read(0, "c", "s1", "o", 1)}
+	if got := TopServers(tr, 10); len(got) != 1 {
+		t.Errorf("TopServers = %v, want 1 server", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := Trace{
+		read(0.5, "c1", "s1", "/a/b", 1024),
+		write(1.25, "s1", "/a/b", 2048),
+		read(2, "c2", "s2", "/x", 0),
+	}
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("round trip len = %d, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i].Op != tr[i].Op || got[i].Client != tr[i].Client ||
+			got[i].Server != tr[i].Server || got[i].Object != tr[i].Object ||
+			got[i].Size != tr[i].Size {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], tr[i])
+		}
+		if d := got[i].Time.Sub(tr[i].Time); d > time.Microsecond || d < -time.Microsecond {
+			t.Errorf("event %d time drift %v", i, d)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidEvent(t *testing.T) {
+	tr := Trace{{Op: OpRead, Server: "s", Object: "o"}} // missing client
+	var sb strings.Builder
+	if err := Write(&sb, tr); err == nil {
+		t.Fatal("Write accepted invalid event")
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\nR 1.0 c s o 10\n   \n# more\nW 2.0 s o 20\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("len = %d, want 2", len(tr))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"unknown type", "X 1.0 a b c\n"},
+		{"read short", "R 1.0 c s\n"},
+		{"write short", "W 1.0 s\n"},
+		{"bad timestamp", "R zzz c s o 1\n"},
+		{"bad size", "R 1.0 c s o pony\n"},
+		{"write bad size", "W 1.0 s o pony\n"},
+		{"write bad ts", "W x s o 1\n"},
+		{"read extra field", "R 1.0 c s o 1 9\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.in)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestReadBU(t *testing.T) {
+	in := strings.Join([]string{
+		`cs18 790358517.50 1 "http://cs-www.bu.edu/" 2009 0.518815`,
+		`cs18 790358520.00 1 "http://cs-www.bu.edu/lib/pics/bu-logo.gif" 1804 0.320
+`,
+		`cs20 790358530.25 3 "http://www.ncsa.uiuc.edu/demoweb/url-primer.html" 5000 0`,
+	}, "\n")
+	tr, err := ReadBU(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadBU: %v", err)
+	}
+	if len(tr) != 3 {
+		t.Fatalf("len = %d, want 3", len(tr))
+	}
+	e := tr[0]
+	if e.Client != "cs18:1" {
+		t.Errorf("client = %q", e.Client)
+	}
+	if e.Server != "cs-www.bu.edu" {
+		t.Errorf("server = %q", e.Server)
+	}
+	if e.Object != "/" {
+		t.Errorf("object = %q", e.Object)
+	}
+	if e.Size != 2009 {
+		t.Errorf("size = %d", e.Size)
+	}
+	// Rebased: first record at epoch+0, second at +2.5s.
+	if got := tr[1].Seconds(); got != 2.5 {
+		t.Errorf("second event at %v, want 2.5", got)
+	}
+	if tr[1].Object != "/lib/pics/bu-logo.gif" {
+		t.Errorf("second object = %q", tr[1].Object)
+	}
+	if tr[2].Client != "cs20:3" || tr[2].Server != "www.ncsa.uiuc.edu" {
+		t.Errorf("third record parsed wrong: %+v", tr[2])
+	}
+}
+
+func TestReadBUErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no quotes", `cs18 790358517.5 1 http://x/ 10 0`},
+		{"unterminated", `cs18 790358517.5 1 "http://x/ 10 0`},
+		{"head fields", `cs18 790358517.5 "http://x/" 10 0`},
+		{"no size", `cs18 790358517.5 1 "http://x/"`},
+		{"bad ts", `cs18 xx 1 "http://x/" 10 0`},
+		{"bad size", `cs18 790358517.5 1 "http://x/" pony 0`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadBU(strings.NewReader(c.in)); err == nil {
+				t.Errorf("ReadBU accepted %q", c.in)
+			}
+		})
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct {
+		url, server, object string
+	}{
+		{"http://cs-www.bu.edu/", "cs-www.bu.edu", "/"},
+		{"http://Host.EDU:80/a", "host.edu", "/a"},
+		{"http://h.com", "h.com", "/"},
+		{"file:/local/path", "local", "file:/local/path"},
+		{"http:///nohost", "local", "/nohost"},
+	}
+	for _, c := range cases {
+		s, o := splitURL(c.url)
+		if s != c.server || o != c.object {
+			t.Errorf("splitURL(%q) = (%q,%q), want (%q,%q)", c.url, s, o, c.server, c.object)
+		}
+	}
+}

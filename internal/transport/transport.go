@@ -1,0 +1,352 @@
+// Package transport abstracts the byte-moving layer under the volume-lease
+// protocol: a message-oriented Conn/Listener pair with two implementations,
+// real TCP (production) and an in-memory network with injectable latency
+// and partitions (tests, examples, and fault-tolerance experiments — the
+// paper's unreachable-client scenarios are driven through Memory's
+// Partition switch).
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed reports use of a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrPartitioned reports a dial into a partitioned host pair.
+var ErrPartitioned = errors.New("transport: network partitioned")
+
+// Conn is a bidirectional, ordered, reliable message stream. Send and Recv
+// may be called concurrently with each other; Send is safe for concurrent
+// use by multiple goroutines.
+type Conn interface {
+	// Send transmits one message.
+	Send(m wire.Message) error
+	// Recv blocks for the next message. It returns io.EOF after a clean
+	// close by the peer.
+	Recv() (wire.Message, error)
+	// Close tears the connection down; pending Recv calls unblock.
+	Close() error
+	// LocalAddr and RemoteAddr identify the endpoints.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accept calls return ErrClosed.
+	Close() error
+	// Addr is the bound address.
+	Addr() string
+}
+
+// Network creates listeners and dials peers.
+type Network interface {
+	// Listen binds addr.
+	Listen(addr string) (Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+}
+
+// --- TCP ---
+
+// TCP is the production Network backed by the operating system's TCP stack.
+type TCP struct{}
+
+var _ Network = TCP{}
+
+// Listen implements Network.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+func (t *tcpConn) Send(m wire.Message) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := wire.WriteFrame(t.bw, m); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpConn) Recv() (wire.Message, error) { return wire.ReadFrame(t.br) }
+func (t *tcpConn) Close() error                { return t.c.Close() }
+func (t *tcpConn) LocalAddr() string           { return t.c.LocalAddr().String() }
+func (t *tcpConn) RemoteAddr() string          { return t.c.RemoteAddr().String() }
+
+// --- In-memory network ---
+
+// Memory is an in-process Network for deterministic tests and fault
+// injection. Addresses are "host:port" strings; partitions are declared
+// between host parts, so partitioning "client-1" from "server" kills every
+// connection between them and blocks new dials. Messages crossing a
+// partitioned link are silently dropped, modeling the paper's unreachable
+// clients (the sender cannot tell a drop from a slow peer).
+type Memory struct {
+	mu         sync.Mutex
+	listeners  map[string]*memListener
+	partitions map[[2]string]struct{}
+	latency    time.Duration
+}
+
+var _ Network = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory network.
+func NewMemory() *Memory {
+	return &Memory{
+		listeners:  make(map[string]*memListener),
+		partitions: make(map[[2]string]struct{}),
+	}
+}
+
+// SetLatency sets a fixed one-way delivery delay for all future messages.
+func (n *Memory) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// Partition cuts connectivity between hosts a and b (both directions).
+func (n *Memory) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[hostPair(a, b)] = struct{}{}
+}
+
+// Heal restores connectivity between hosts a and b.
+func (n *Memory) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, hostPair(a, b))
+}
+
+// Partitioned reports whether hosts a and b are cut off.
+func (n *Memory) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.partitions[hostPair(a, b)]
+	return ok
+}
+
+func hostPair(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Host extracts the host part of an addr ("host:port" or bare host).
+func Host(addr string) string {
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Listen implements Network.
+func (n *Memory) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: %s already bound", addr)
+	}
+	l := &memListener{net: n, addr: addr, backlog: make(chan *memConn, 64)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network. The local address is synthesized from the
+// DialFrom host if set via DialAs; otherwise "anon".
+func (n *Memory) Dial(addr string) (Conn, error) {
+	return n.DialFrom("anon", addr)
+}
+
+// DialFrom connects to addr with an explicit local host name, so that
+// partitions involving this endpoint apply.
+func (n *Memory) DialFrom(localHost, addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection refused: %s", addr)
+	}
+	if _, cut := n.partitions[hostPair(localHost, Host(addr))]; cut {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, localHost, Host(addr))
+	}
+	n.mu.Unlock()
+
+	clientSide := &memConn{
+		net: n, local: localHost + ":0", remote: addr,
+		in: make(chan wire.Message, 1024), done: make(chan struct{}),
+	}
+	serverSide := &memConn{
+		net: n, local: addr, remote: localHost + ":0",
+		in: make(chan wire.Message, 1024), done: make(chan struct{}),
+	}
+	clientSide.peer, serverSide.peer = serverSide, clientSide
+
+	select {
+	case l.backlog <- serverSide:
+	case <-l.done():
+		return nil, ErrClosed
+	}
+	return clientSide, nil
+}
+
+type memListener struct {
+	net     *Memory
+	addr    string
+	backlog chan *memConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	closeInit sync.Once
+}
+
+func (l *memListener) done() chan struct{} {
+	l.closeInit.Do(func() { l.closed = make(chan struct{}) })
+	return l.closed
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done())
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+type memConn struct {
+	net    *Memory
+	local  string
+	remote string
+	peer   *memConn
+	in     chan wire.Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// Send delivers to the peer's inbox unless the link is partitioned (silent
+// drop) or either side is closed.
+func (c *memConn) Send(m wire.Message) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	if c.net.Partitioned(Host(c.local), Host(c.remote)) {
+		return nil // dropped in flight: the sender cannot tell
+	}
+	c.net.mu.Lock()
+	latency := c.net.latency
+	c.net.mu.Unlock()
+	deliver := func() {
+		select {
+		case c.peer.in <- m:
+		case <-c.peer.done:
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, func() {
+			// Re-check the partition at delivery time: a cut that happens
+			// while the message is in flight loses it.
+			if !c.net.Partitioned(Host(c.local), Host(c.remote)) {
+				deliver()
+			}
+		})
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+func (c *memConn) Recv() (wire.Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.done:
+		// Drain anything already delivered before the close.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.peer.closeOnce.Do(func() { close(c.peer.done) })
+	})
+	return nil
+}
+
+func (c *memConn) LocalAddr() string  { return c.local }
+func (c *memConn) RemoteAddr() string { return c.remote }

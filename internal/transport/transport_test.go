@@ -1,0 +1,342 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// recvTimeout receives with a deadline so a broken transport fails the test
+// instead of hanging it.
+func recvTimeout(c Conn, d time.Duration) (wire.Message, error) {
+	type res struct {
+		m   wire.Message
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		m, err := c.Recv()
+		ch <- res{m, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-time.After(d):
+		return nil, errors.New("recv timeout")
+	}
+}
+
+// exchange sends m on a and receives it on b.
+func exchange(t *testing.T, a, b Conn, m wire.Message) wire.Message {
+	t.Helper()
+	if err := a.Send(m); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := recvTimeout(b, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return got
+}
+
+// pair establishes a connected client/server pair over the given network.
+func pair(t *testing.T, n Network, addr string) (client, server Conn, cleanup func()) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var (
+		srv Conn
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, _ = l.Accept()
+	}()
+	cli, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	if srv == nil {
+		t.Fatal("Accept returned nil")
+	}
+	return cli, srv, func() {
+		cli.Close()
+		srv.Close()
+		l.Close()
+	}
+}
+
+// runConnSuite exercises behaviors every Network implementation must share.
+func runConnSuite(t *testing.T, mk func(t *testing.T) (Network, string)) {
+	t.Run("round trip both directions", func(t *testing.T) {
+		n, addr := mk(t)
+		cli, srv, cleanup := pair(t, n, addr)
+		defer cleanup()
+		got := exchange(t, cli, srv, wire.Hello{Client: "c1"})
+		if h, ok := got.(wire.Hello); !ok || h.Client != "c1" {
+			t.Errorf("got %#v, want Hello{c1}", got)
+		}
+		got = exchange(t, srv, cli, wire.Invalidate{Objects: []core.ObjectID{"a", "b"}})
+		if inv, ok := got.(wire.Invalidate); !ok || len(inv.Objects) != 2 {
+			t.Errorf("got %#v, want Invalidate with 2 objects", got)
+		}
+	})
+
+	t.Run("ordering preserved", func(t *testing.T) {
+		n, addr := mk(t)
+		cli, srv, cleanup := pair(t, n, addr)
+		defer cleanup()
+		const count = 100
+		for i := 0; i < count; i++ {
+			if err := cli.Send(wire.ReqObjLease{Seq: uint64(i + 1), Object: "o"}); err != nil {
+				t.Fatalf("Send %d: %v", i, err)
+			}
+		}
+		for i := 0; i < count; i++ {
+			m, err := recvTimeout(srv, 5*time.Second)
+			if err != nil {
+				t.Fatalf("Recv %d: %v", i, err)
+			}
+			if m.Sequence() != uint64(i+1) {
+				t.Fatalf("message %d has seq %d", i, m.Sequence())
+			}
+		}
+	})
+
+	t.Run("concurrent senders", func(t *testing.T) {
+		n, addr := mk(t)
+		cli, srv, cleanup := pair(t, n, addr)
+		defer cleanup()
+		const goroutines, per = 8, 50
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := cli.Send(wire.ReqVolLease{Seq: 1, Volume: "v"}); err != nil {
+						t.Errorf("Send: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < goroutines*per; i++ {
+				if _, err := recvTimeout(srv, 5*time.Second); err != nil {
+					t.Errorf("Recv %d: %v", i, err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		<-done
+	})
+
+	t.Run("close unblocks recv", func(t *testing.T) {
+		n, addr := mk(t)
+		cli, srv, cleanup := pair(t, n, addr)
+		defer cleanup()
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cli.Close()
+		}()
+		if _, err := recvTimeout(srv, 5*time.Second); err == nil {
+			t.Error("Recv succeeded after peer close")
+		}
+	})
+
+	t.Run("dial unknown address fails", func(t *testing.T) {
+		n, _ := mk(t)
+		if _, err := n.Dial("nowhere:1"); err == nil {
+			t.Error("dial to unbound address succeeded")
+		}
+	})
+}
+
+var tcpPort int
+
+func TestTCP(t *testing.T) {
+	runConnSuite(t, func(t *testing.T) (Network, string) {
+		return TCP{}, "127.0.0.1:0"
+	})
+}
+
+func TestMemory(t *testing.T) {
+	i := 0
+	runConnSuite(t, func(t *testing.T) (Network, string) {
+		i++
+		return NewMemory(), fmt.Sprintf("server:%d", i)
+	})
+}
+
+func TestMemoryDuplicateBind(t *testing.T) {
+	n := NewMemory()
+	if _, err := n.Listen("s:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("s:1"); err == nil {
+		t.Error("duplicate bind succeeded")
+	}
+}
+
+func TestMemoryListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMemory()
+	l, _ := n.Listen("s:1")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		l.Close()
+	}()
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Accept = %v, want ErrClosed", err)
+	}
+	// The address is free again after close.
+	if _, err := n.Listen("s:1"); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+}
+
+func TestMemoryPartitionBlocksDial(t *testing.T) {
+	n := NewMemory()
+	if _, err := n.Listen("server:1"); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("client", "server")
+	if _, err := n.DialFrom("client", "server:1"); !errors.Is(err, ErrPartitioned) {
+		t.Errorf("Dial = %v, want ErrPartitioned", err)
+	}
+	n.Heal("client", "server")
+	if _, err := n.DialFrom("client", "server:1"); err != nil {
+		t.Errorf("Dial after heal: %v", err)
+	}
+}
+
+func TestMemoryPartitionDropsInFlight(t *testing.T) {
+	n := NewMemory()
+	l, _ := n.Listen("server:1")
+	var srv Conn
+	accepted := make(chan struct{})
+	go func() {
+		srv, _ = l.Accept()
+		close(accepted)
+	}()
+	cli, err := n.DialFrom("client", "server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+
+	// One persistent reader, so a blocked Recv cannot swallow later
+	// messages.
+	msgs := make(chan wire.Message, 16)
+	go func() {
+		for {
+			m, err := srv.Recv()
+			if err != nil {
+				return
+			}
+			msgs <- m
+		}
+	}()
+
+	n.Partition("client", "server")
+	if err := cli.Send(wire.Hello{Client: "c"}); err != nil {
+		t.Fatalf("Send during partition errored: %v (should drop silently)", err)
+	}
+	select {
+	case m := <-msgs:
+		t.Errorf("message crossed a partition: %#v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Heal and verify the link works again.
+	n.Heal("client", "server")
+	if err := cli.Send(wire.Hello{Client: "again"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		if h := m.(wire.Hello); h.Client != "again" {
+			t.Errorf("after heal got %#v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("no message after heal")
+	}
+}
+
+func TestMemoryLatency(t *testing.T) {
+	n := NewMemory()
+	l, _ := n.Listen("server:1")
+	var srv Conn
+	accepted := make(chan struct{})
+	go func() {
+		srv, _ = l.Accept()
+		close(accepted)
+	}()
+	cli, _ := n.DialFrom("client", "server:1")
+	<-accepted
+	n.SetLatency(50 * time.Millisecond)
+	start := time.Now()
+	if err := cli.Send(wire.Hello{Client: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recvTimeout(srv, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("message arrived in %v, want >= ~50ms latency", elapsed)
+	}
+}
+
+func TestMemorySendAfterCloseFails(t *testing.T) {
+	n := NewMemory()
+	l, _ := n.Listen("server:1")
+	go l.Accept()
+	cli, _ := n.DialFrom("client", "server:1")
+	cli.Close()
+	if err := cli.Send(wire.Hello{Client: "c"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemoryAddrs(t *testing.T) {
+	n := NewMemory()
+	l, _ := n.Listen("server:1")
+	if l.Addr() != "server:1" {
+		t.Errorf("Addr = %q", l.Addr())
+	}
+	var srv Conn
+	accepted := make(chan struct{})
+	go func() { srv, _ = l.Accept(); close(accepted) }()
+	cli, _ := n.DialFrom("client-9", "server:1")
+	<-accepted
+	if Host(cli.LocalAddr()) != "client-9" || cli.RemoteAddr() != "server:1" {
+		t.Errorf("client addrs = %q -> %q", cli.LocalAddr(), cli.RemoteAddr())
+	}
+	if srv.LocalAddr() != "server:1" || Host(srv.RemoteAddr()) != "client-9" {
+		t.Errorf("server addrs = %q -> %q", srv.LocalAddr(), srv.RemoteAddr())
+	}
+}
+
+func TestHost(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a:1", "a"},
+		{"a", "a"},
+		{"host:port:9", "host:port"},
+	}
+	for _, c := range cases {
+		if got := Host(c.in); got != c.want {
+			t.Errorf("Host(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MaxFrame bounds a single message on the wire; larger frames are rejected
+// before allocation so a corrupt length prefix cannot exhaust memory.
+const MaxFrame = 16 << 20
+
+// Codec errors.
+var (
+	// ErrFrameTooLarge reports a frame exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	// ErrTruncated reports a payload shorter than its fields require.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrUnknownKind reports an unrecognized kind byte.
+	ErrUnknownKind = errors.New("wire: unknown message kind")
+)
+
+// Encode serializes m as kind byte + body (no frame header).
+func Encode(m Message) ([]byte, error) {
+	var e encoder
+	e.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case Hello:
+		e.str(string(v.Client))
+	case ReqObjLease:
+		e.u64(v.Seq)
+		e.str(string(v.Object))
+		e.i64(int64(v.Version))
+	case ObjLease:
+		e.u64(v.Seq)
+		e.str(string(v.Object))
+		e.i64(int64(v.Version))
+		e.time(v.Expire)
+		e.bool(v.HasData)
+		if v.HasData {
+			e.bytes(v.Data)
+		}
+	case ReqVolLease:
+		e.u64(v.Seq)
+		e.str(string(v.Volume))
+		e.i64(int64(v.Epoch))
+	case VolLease:
+		e.u64(v.Seq)
+		e.str(string(v.Volume))
+		e.time(v.Expire)
+		e.i64(int64(v.Epoch))
+	case Invalidate:
+		e.u64(v.Seq)
+		e.objects(v.Objects)
+	case AckInvalidate:
+		e.u64(v.Seq)
+		e.str(string(v.Volume))
+		e.objects(v.Objects)
+	case MustRenewAll:
+		e.u64(v.Seq)
+		e.str(string(v.Volume))
+		e.i64(int64(v.Epoch))
+	case RenewObjLeases:
+		e.u64(v.Seq)
+		e.str(string(v.Volume))
+		e.uv(uint64(len(v.Held)))
+		for _, h := range v.Held {
+			e.str(string(h.Object))
+			e.i64(int64(h.Version))
+		}
+	case InvalRenew:
+		e.u64(v.Seq)
+		e.str(string(v.Volume))
+		e.objects(v.Invalidate)
+		e.uv(uint64(len(v.Renew)))
+		for _, r := range v.Renew {
+			e.str(string(r.Object))
+			e.i64(int64(r.Version))
+			e.time(r.Expire)
+		}
+	case WriteReq:
+		e.u64(v.Seq)
+		e.str(string(v.Object))
+		e.bytes(v.Data)
+	case WriteReply:
+		e.u64(v.Seq)
+		e.str(string(v.Object))
+		e.i64(int64(v.Version))
+		e.i64(int64(v.Waited))
+	case Error:
+		e.u64(v.Seq)
+		e.u8(uint8(v.Code))
+		e.str(v.Msg)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", m)
+	}
+	if len(e.buf) > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return e.buf, nil
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(buf []byte) (Message, error) {
+	d := decoder{buf: buf}
+	kind := Kind(d.u8())
+	switch kind {
+	case KindHello:
+		m := Hello{Client: core.ClientID(d.str())}
+		return m, d.finish()
+	case KindReqObjLease:
+		m := ReqObjLease{Seq: d.u64(), Object: core.ObjectID(d.str()), Version: core.Version(d.i64())}
+		return m, d.finish()
+	case KindObjLease:
+		m := ObjLease{Seq: d.u64(), Object: core.ObjectID(d.str()), Version: core.Version(d.i64()), Expire: d.time()}
+		m.HasData = d.bool()
+		if m.HasData {
+			m.Data = d.bytes()
+		}
+		return m, d.finish()
+	case KindReqVolLease:
+		m := ReqVolLease{Seq: d.u64(), Volume: core.VolumeID(d.str()), Epoch: core.Epoch(d.i64())}
+		return m, d.finish()
+	case KindVolLease:
+		m := VolLease{Seq: d.u64(), Volume: core.VolumeID(d.str()), Expire: d.time(), Epoch: core.Epoch(d.i64())}
+		return m, d.finish()
+	case KindInvalidate:
+		m := Invalidate{Seq: d.u64(), Objects: d.objects()}
+		return m, d.finish()
+	case KindAckInvalidate:
+		m := AckInvalidate{Seq: d.u64(), Volume: core.VolumeID(d.str()), Objects: d.objects()}
+		return m, d.finish()
+	case KindMustRenewAll:
+		m := MustRenewAll{Seq: d.u64(), Volume: core.VolumeID(d.str()), Epoch: core.Epoch(d.i64())}
+		return m, d.finish()
+	case KindRenewObjLeases:
+		m := RenewObjLeases{Seq: d.u64(), Volume: core.VolumeID(d.str())}
+		n := d.uv()
+		if n > uint64(len(d.buf)) {
+			d.fail()
+			return nil, d.finish()
+		}
+		m.Held = make([]core.HeldObject, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			m.Held = append(m.Held, core.HeldObject{Object: core.ObjectID(d.str()), Version: core.Version(d.i64())})
+		}
+		return m, d.finish()
+	case KindInvalRenew:
+		m := InvalRenew{Seq: d.u64(), Volume: core.VolumeID(d.str()), Invalidate: d.objects()}
+		n := d.uv()
+		if n > uint64(len(d.buf)) {
+			d.fail()
+			return nil, d.finish()
+		}
+		m.Renew = make([]LeaseMeta, 0, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			m.Renew = append(m.Renew, LeaseMeta{
+				Object:  core.ObjectID(d.str()),
+				Version: core.Version(d.i64()),
+				Expire:  d.time(),
+			})
+		}
+		return m, d.finish()
+	case KindWriteReq:
+		m := WriteReq{Seq: d.u64(), Object: core.ObjectID(d.str()), Data: d.bytes()}
+		return m, d.finish()
+	case KindWriteReply:
+		m := WriteReply{Seq: d.u64(), Object: core.ObjectID(d.str()), Version: core.Version(d.i64()), Waited: time.Duration(d.i64())}
+		return m, d.finish()
+	case KindError:
+		m := Error{Seq: d.u64(), Code: ErrorCode(d.u8()), Msg: d.str()}
+		return m, d.finish()
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(kind))
+	}
+}
+
+// WriteFrame writes m to w with a 4-byte big-endian length prefix.
+func WriteFrame(w io.Writer, m Message) error {
+	body, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	return Decode(body)
+}
+
+// --- primitive encoder/decoder ---
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) uv(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.uv(v) }
+func (e *encoder) i64(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.uv(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.uv(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// time encodes as Unix nanoseconds; the zero time is encoded as math
+// minimum and restored exactly.
+func (e *encoder) time(t time.Time) {
+	if t.IsZero() {
+		e.i64(0)
+		return
+	}
+	e.i64(t.UnixNano())
+}
+
+func (e *encoder) objects(ids []core.ObjectID) {
+	e.uv(uint64(len(ids)))
+	for _, id := range ids {
+		e.str(string(id))
+	}
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+	d.buf = nil
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) u64() uint64 { return d.uv() }
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+// bool accepts only the canonical encodings 0 and 1, so every accepted
+// message re-encodes to identical bytes.
+func (d *decoder) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail()
+		return false
+	}
+}
+
+func (d *decoder) str() string {
+	n := d.uv()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uv()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[:n])
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) time() time.Time {
+	v := d.i64()
+	if d.err != nil || v == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, v)
+}
+
+func (d *decoder) objects() []core.ObjectID {
+	n := d.uv()
+	if d.err != nil || n > uint64(len(d.buf)) {
+		d.fail()
+		return nil
+	}
+	out := make([]core.ObjectID, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, core.ObjectID(d.str()))
+	}
+	return out
+}
+
+// finish reports any accumulated decode error; trailing bytes are also an
+// error (they indicate a framing bug).
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(d.buf))
+	}
+	return nil
+}

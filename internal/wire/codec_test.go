@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func ts(sec int64) time.Time { return time.Unix(sec, 500).UTC() }
+
+// roundTrip encodes and decodes m, failing on error.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	buf, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode(%+v): %v", m, err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode(%+v): %v", m, err)
+	}
+	return got
+}
+
+// timesEqual compares two messages for semantic equality, normalizing
+// time.Time location differences.
+func assertEqual(t *testing.T, got, want Message) {
+	t.Helper()
+	g, w := normalize(got), normalize(want)
+	if !reflect.DeepEqual(g, w) {
+		t.Errorf("round trip mismatch:\n got %#v\nwant %#v", g, w)
+	}
+}
+
+// normalize rewrites time fields to UTC so DeepEqual ignores locations.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case ObjLease:
+		v.Expire = v.Expire.UTC()
+		return v
+	case VolLease:
+		v.Expire = v.Expire.UTC()
+		return v
+	case InvalRenew:
+		for i := range v.Renew {
+			v.Renew[i].Expire = v.Renew[i].Expire.UTC()
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	msgs := []Message{
+		Hello{Client: "client-7"},
+		ReqObjLease{Seq: 42, Object: "obj/1", Version: core.NoVersion},
+		ObjLease{Seq: 42, Object: "obj/1", Version: 3, Expire: ts(100), HasData: true, Data: []byte("payload")},
+		ObjLease{Seq: 43, Object: "obj/1", Version: 3, Expire: ts(100)},
+		ReqVolLease{Seq: 1, Volume: "vol", Epoch: core.NoEpoch},
+		VolLease{Seq: 1, Volume: "vol", Expire: ts(10), Epoch: 5},
+		Invalidate{Objects: []core.ObjectID{"a", "b"}},
+		AckInvalidate{Seq: 9, Volume: "vol", Objects: []core.ObjectID{"a"}},
+		MustRenewAll{Seq: 2, Volume: "vol", Epoch: 6},
+		RenewObjLeases{Seq: 2, Volume: "vol", Held: []core.HeldObject{{Object: "a", Version: 1}, {Object: "b", Version: 2}}},
+		InvalRenew{Seq: 2, Volume: "vol",
+			Invalidate: []core.ObjectID{"a"},
+			Renew:      []LeaseMeta{{Object: "b", Version: 2, Expire: ts(50)}}},
+		WriteReq{Seq: 7, Object: "obj", Data: []byte{0, 1, 2, 255}},
+		WriteReply{Seq: 7, Object: "obj", Version: 9, Waited: 1500 * time.Millisecond},
+		Error{Seq: 3, Code: ErrCodeNoSuchObject, Msg: "obj not found"},
+	}
+	for _, m := range msgs {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			assertEqual(t, roundTrip(t, m), m)
+		})
+	}
+}
+
+func TestRoundTripEmptyCollections(t *testing.T) {
+	msgs := []Message{
+		Invalidate{Seq: 1},
+		AckInvalidate{Seq: 1, Volume: "v"},
+		RenewObjLeases{Seq: 1, Volume: "v"},
+		InvalRenew{Seq: 1, Volume: "v"},
+		WriteReq{Seq: 1, Object: "o", Data: []byte{}},
+		ObjLease{Seq: 1, Object: "o", Version: 1, Expire: time.Time{}}, // zero time
+	}
+	for _, m := range msgs {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			got := roundTrip(t, m)
+			if got.Kind() != m.Kind() || got.Sequence() != m.Sequence() {
+				t.Errorf("got %#v, want %#v", got, m)
+			}
+		})
+	}
+}
+
+func TestZeroTimeRoundTrip(t *testing.T) {
+	m := ObjLease{Seq: 1, Object: "o", Version: 1}
+	got := roundTrip(t, m).(ObjLease)
+	if !got.Expire.IsZero() {
+		t.Errorf("zero time decoded as %v", got.Expire)
+	}
+}
+
+func TestSequenceAccessors(t *testing.T) {
+	if (Hello{}).Sequence() != 0 {
+		t.Error("Hello sequence nonzero")
+	}
+	if (ReqObjLease{Seq: 5}).Sequence() != 5 {
+		t.Error("ReqObjLease sequence wrong")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindObjLease.String() != "ObjLease" {
+		t.Errorf("KindObjLease = %q", KindObjLease.String())
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Errorf("unknown kind = %q", Kind(200).String())
+	}
+}
+
+func TestDecodeUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte{200}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("err = %v, want ErrUnknownKind", err)
+	}
+	if _, err := Decode([]byte{byte(kindEnd)}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("sentinel kind: %v", err)
+	}
+}
+
+func TestDecodeTruncatedNeverPanics(t *testing.T) {
+	// Every prefix of every valid encoding must decode to an error, not a
+	// panic or a silent success.
+	msgs := []Message{
+		ObjLease{Seq: 42, Object: "obj/1", Version: 3, Expire: ts(100), HasData: true, Data: []byte("payload")},
+		InvalRenew{Seq: 2, Volume: "vol", Invalidate: []core.ObjectID{"a"},
+			Renew: []LeaseMeta{{Object: "b", Version: 2, Expire: ts(50)}}},
+		RenewObjLeases{Seq: 2, Volume: "vol", Held: []core.HeldObject{{Object: "a", Version: 1}}},
+		WriteReq{Seq: 7, Object: "obj", Data: []byte("xyz")},
+	}
+	for _, m := range msgs {
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 1; cut < len(buf); cut++ {
+			if _, err := Decode(buf[:cut]); err == nil {
+				t.Errorf("%s truncated to %d bytes decoded without error", m.Kind(), cut)
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	buf, _ := Encode(Hello{Client: "c"})
+	buf = append(buf, 0xFF)
+	if _, err := Decode(buf); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		_, _ = Decode(buf) // must not panic
+	}
+}
+
+func TestQuickObjLeaseRoundTrip(t *testing.T) {
+	f := func(seq uint64, obj string, ver int64, nanos int64, data []byte) bool {
+		if nanos == 0 {
+			nanos = 1
+		}
+		m := ObjLease{Seq: seq, Object: core.ObjectID(obj), Version: core.Version(ver),
+			Expire: time.Unix(0, nanos), HasData: true, Data: data}
+		buf, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		g := got.(ObjLease)
+		return g.Seq == m.Seq && g.Object == m.Object && g.Version == m.Version &&
+			g.Expire.Equal(m.Expire) && bytes.Equal(g.Data, m.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInvalidateRoundTrip(t *testing.T) {
+	f := func(seq uint64, names []string) bool {
+		m := Invalidate{Seq: seq}
+		for _, n := range names {
+			m.Objects = append(m.Objects, core.ObjectID(n))
+		}
+		buf, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		g := got.(Invalidate)
+		if g.Seq != m.Seq || len(g.Objects) != len(m.Objects) {
+			return false
+		}
+		for i := range g.Objects {
+			if g.Objects[i] != m.Objects[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWriteReqRoundTrip(t *testing.T) {
+	f := func(seq uint64, obj string, data []byte) bool {
+		m := WriteReq{Seq: seq, Object: core.ObjectID(obj), Data: data}
+		buf, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		g := got.(WriteReq)
+		return g.Seq == m.Seq && g.Object == m.Object && bytes.Equal(g.Data, m.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		Hello{Client: "c"},
+		ReqVolLease{Seq: 1, Volume: "v", Epoch: 0},
+		WriteReq{Seq: 2, Object: "o", Data: []byte("hello")},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		assertEqual(t, got, want)
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("draining read = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 1, 2}) // claims 10 bytes, has 2
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestEncodeRejectsUnknownType(t *testing.T) {
+	if _, err := Encode(fakeMsg{}); err == nil {
+		t.Error("unknown message type encoded")
+	}
+}
+
+type fakeMsg struct{}
+
+func (fakeMsg) Kind() Kind       { return Kind(99) }
+func (fakeMsg) Sequence() uint64 { return 0 }

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzDecode checks that no input can panic the decoder, and that anything
+// it accepts re-encodes and re-decodes to the same bytes (canonical form).
+func FuzzDecode(f *testing.F) {
+	seeds := []Message{
+		Hello{Client: "c"},
+		ReqObjLease{Seq: 1, Object: "o", Version: core.NoVersion},
+		ObjLease{Seq: 2, Object: "o", Version: 3, HasData: true, Data: []byte("d")},
+		InvalRenew{Seq: 3, Volume: "v", Invalidate: []core.ObjectID{"a"},
+			Renew: []LeaseMeta{{Object: "b", Version: 1}}},
+		RenewObjLeases{Seq: 4, Volume: "v", Held: []core.HeldObject{{Object: "a", Version: 2}}},
+		Error{Seq: 5, Code: ErrCodeBadRequest, Msg: "m"},
+	}
+	for _, m := range seeds {
+		buf, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Normalization property: anything the decoder accepts re-encodes
+		// to a stable canonical form (one decode/encode pass is a fixed
+		// point; inputs may use non-minimal varints).
+		out1, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded %T but cannot re-encode: %v", m, err)
+		}
+		m2, err := Decode(out1)
+		if err != nil {
+			t.Fatalf("canonical form does not decode: %v", err)
+		}
+		out2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("encoding not a fixed point:\n out1 %x\n out2 %x", out1, out2)
+		}
+		if m2.Kind() != m.Kind() || m2.Sequence() != m.Sequence() {
+			t.Fatalf("round trip changed identity: %#v vs %#v", m, m2)
+		}
+	})
+}

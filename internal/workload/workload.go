@@ -1,0 +1,470 @@
+// Package workload generates synthetic traces that reproduce the aggregate
+// properties of the paper's evaluation workload (Section 4.2):
+//
+//   - Reads modeled on the Boston University Mosaic traces: a population of
+//     browser clients issuing bursty, session-structured reads with strong
+//     per-server (volume) spatial locality and Zipf-skewed popularity across
+//     servers and objects.
+//   - Writes synthesized by the paper's four-class model: the 10% most-read
+//     objects get Poisson writes at 0.005/day; the remaining 90% are split
+//     randomly into "very mutable" (3% of all objects, 0.2 writes/day),
+//     "mutable" (10%, 0.05/day), and the rest (77%, 0.02/day).
+//   - A "bursty write" transform (Section 5.3): each original write also
+//     modifies k other objects of the same volume at the same instant, with
+//     k drawn from an exponential distribution (paper: mean 10).
+//
+// All generation is deterministic given the Seed, so experiments are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// ReadConfig parameterizes the synthetic read trace.
+type ReadConfig struct {
+	Seed     int64         // PRNG seed
+	Clients  int           // number of browser clients
+	Servers  int           // number of servers (= volumes)
+	Objects  int           // total distinct objects across all servers
+	Duration time.Duration // trace span
+
+	// SessionRate is the mean number of browsing sessions per client per
+	// day. A session visits one server.
+	SessionRate float64
+	// ViewsPerSession is the mean number of page views in a session.
+	ViewsPerSession float64
+	// EmbeddedPerView is the mean number of embedded objects fetched with
+	// each page view (images, style sheets). A view reads 1+Poisson(this)
+	// objects back to back, which is the spatial/temporal locality volume
+	// leases amortize over (Section 3.1.3).
+	EmbeddedPerView float64
+	// ViewGap is the mean gap between fetches within one page view
+	// (sub-second in browser traces).
+	ViewGap time.Duration
+	// ThinkTime is the mean gap between page views within a session.
+	ThinkTime time.Duration
+	// ServerZipfS and ObjectZipfS are the Zipf skew exponents (>1) for
+	// server and per-server object popularity.
+	ServerZipfS float64
+	ObjectZipfS float64
+}
+
+// DefaultReadConfig returns a laptop-scale configuration whose shape matches
+// the BU trace: heavily skewed server popularity (the top 1000 of all
+// servers cover >90% of accesses), and a read:object ratio of roughly 15:1
+// (1,034,077 reads over 68,665 files in the paper).
+func DefaultReadConfig() ReadConfig {
+	return ReadConfig{
+		Seed:            1,
+		Clients:         33, // the BU trace's 33 SPARCstations
+		Servers:         200,
+		Objects:         8000,
+		Duration:        28 * 24 * time.Hour, // four weeks
+		SessionRate:     12,                  // sessions/client/day
+		ViewsPerSession: 5,
+		EmbeddedPerView: 3,
+		ViewGap:         400 * time.Millisecond,
+		ThinkTime:       30 * time.Second,
+		ServerZipfS:     1.4,
+		ObjectZipfS:     1.2,
+	}
+}
+
+// Validate checks the configuration for usability.
+func (c ReadConfig) Validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("workload: Clients = %d, need > 0", c.Clients)
+	case c.Servers <= 0:
+		return fmt.Errorf("workload: Servers = %d, need > 0", c.Servers)
+	case c.Objects < c.Servers:
+		return fmt.Errorf("workload: Objects = %d < Servers = %d", c.Objects, c.Servers)
+	case c.Duration <= 0:
+		return fmt.Errorf("workload: non-positive Duration %v", c.Duration)
+	case c.SessionRate <= 0:
+		return fmt.Errorf("workload: non-positive SessionRate %v", c.SessionRate)
+	case c.ViewsPerSession < 1:
+		return fmt.Errorf("workload: ViewsPerSession %v < 1", c.ViewsPerSession)
+	case c.EmbeddedPerView < 0:
+		return fmt.Errorf("workload: negative EmbeddedPerView %v", c.EmbeddedPerView)
+	case c.ViewGap <= 0:
+		return fmt.Errorf("workload: non-positive ViewGap %v", c.ViewGap)
+	case c.ThinkTime <= 0:
+		return fmt.Errorf("workload: non-positive ThinkTime %v", c.ThinkTime)
+	case c.ServerZipfS <= 1 || c.ObjectZipfS <= 1:
+		return fmt.Errorf("workload: Zipf exponents must be > 1 (got %v, %v)",
+			c.ServerZipfS, c.ObjectZipfS)
+	}
+	return nil
+}
+
+// Universe is the generated object space: servers with their objects.
+type Universe struct {
+	Servers []ServerSpec
+}
+
+// ServerSpec names one server and its objects.
+type ServerSpec struct {
+	Name    string
+	Objects []string
+	Sizes   []int64 // object sizes in bytes, parallel to Objects
+}
+
+// ObjectCount reports the total number of objects in the universe.
+func (u *Universe) ObjectCount() int {
+	n := 0
+	for _, s := range u.Servers {
+		n += len(s.Objects)
+	}
+	return n
+}
+
+// buildUniverse distributes Objects across Servers with Zipf-skewed volume
+// sizes: popular servers host more objects, matching the observation that
+// busy web servers have large content trees.
+func buildUniverse(c ReadConfig, rng *rand.Rand) *Universe {
+	u := &Universe{Servers: make([]ServerSpec, c.Servers)}
+	weights := make([]float64, c.Servers)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 0.8)
+		sum += weights[i]
+	}
+	remaining := c.Objects - c.Servers // every server gets at least one object
+	counts := make([]int, c.Servers)
+	for i := range counts {
+		counts[i] = 1 + int(float64(remaining)*weights[i]/sum)
+	}
+	// Fix rounding drift by topping up the largest server.
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	counts[0] += c.Objects - total
+	if counts[0] < 1 {
+		counts[0] = 1
+	}
+	for i := range u.Servers {
+		name := fmt.Sprintf("server-%03d", i)
+		objs := make([]string, counts[i])
+		sizes := make([]int64, counts[i])
+		for j := range objs {
+			objs[j] = fmt.Sprintf("/obj/%d", j)
+			// Log-normal-ish sizes around 8 KiB, the web-object sweet spot.
+			sizes[j] = int64(math.Exp(rng.NormFloat64()*1.2+9)) + 256
+		}
+		u.Servers[i] = ServerSpec{Name: name, Objects: objs, Sizes: sizes}
+	}
+	return u
+}
+
+// GenerateReads produces the read trace and the universe it reads from.
+func GenerateReads(c ReadConfig) (trace.Trace, *Universe, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	u := buildUniverse(c, rng)
+
+	serverZipf := rand.NewZipf(rng, c.ServerZipfS, 1, uint64(c.Servers-1))
+	// Per-server object Zipf samplers, created lazily since most servers in
+	// the tail are rarely visited.
+	objZipf := make([]*rand.Zipf, c.Servers)
+
+	days := c.Duration.Hours() / 24
+	var tr trace.Trace
+	for ci := 0; ci < c.Clients; ci++ {
+		client := fmt.Sprintf("client-%02d", ci)
+		// Poisson session arrivals across the duration.
+		sessions := poissonCount(rng, c.SessionRate*days)
+		for s := 0; s < sessions; s++ {
+			start := time.Duration(rng.Float64() * float64(c.Duration))
+			si := int(serverZipf.Uint64())
+			srv := &u.Servers[si]
+			if objZipf[si] == nil {
+				objZipf[si] = rand.NewZipf(rng, c.ObjectZipfS, 1, uint64(len(srv.Objects)-1))
+			}
+			nViews := 1 + poissonCount(rng, c.ViewsPerSession-1)
+			at := clock.Epoch.Add(start)
+			for view := 0; view < nViews; view++ {
+				// One page view: a burst of 1+Poisson(EmbeddedPerView)
+				// fetches separated by sub-second gaps.
+				nReads := 1 + poissonCount(rng, c.EmbeddedPerView)
+				for r := 0; r < nReads; r++ {
+					oi := int(objZipf[si].Uint64())
+					tr = append(tr, trace.Event{
+						Time:   at,
+						Op:     trace.OpRead,
+						Client: client,
+						Server: srv.Name,
+						Object: srv.Objects[oi],
+						Size:   srv.Sizes[oi],
+					})
+					at = at.Add(time.Duration(rng.ExpFloat64() * float64(c.ViewGap)))
+				}
+				at = at.Add(time.Duration(rng.ExpFloat64() * float64(c.ThinkTime)))
+			}
+		}
+	}
+	tr.Sort()
+	return tr, u, nil
+}
+
+// poissonCount draws a Poisson random variate with the given mean using
+// inversion for small means and a normal approximation for large ones.
+func poissonCount(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(math.Round(rng.NormFloat64()*math.Sqrt(mean) + mean))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// WriteConfig parameterizes the synthetic write workload of Section 4.2.
+type WriteConfig struct {
+	Seed int64
+	// Rates are expected writes per day for each class.
+	PopularRate     float64 // 10% most-read objects
+	VeryMutableRate float64 // 3% of all objects
+	MutableRate     float64 // 10% of all objects
+	DefaultRate     float64 // remaining 77%
+}
+
+// DefaultWriteConfig returns the paper's write model parameters.
+func DefaultWriteConfig() WriteConfig {
+	return WriteConfig{
+		Seed:            2,
+		PopularRate:     0.005,
+		VeryMutableRate: 0.2,
+		MutableRate:     0.05,
+		DefaultRate:     0.02,
+	}
+}
+
+// Mutability classes, assigned per object.
+type mutClass int
+
+const (
+	classPopular mutClass = iota + 1
+	classVeryMutable
+	classMutable
+	classDefault
+)
+
+// objKey identifies an object globally.
+type objKey struct {
+	server, object string
+}
+
+// SynthesizeWrites builds the write trace for the objects referenced by
+// reads, following Section 4.2: objects are ranked by read count; the top
+// 10% get PopularRate; the remaining 90% are randomly assigned to
+// very-mutable (3% of all), mutable (10% of all), and default (77%). Writes
+// within a class arrive as a Poisson process over the read trace's span.
+func SynthesizeWrites(reads trace.Trace, c WriteConfig) (trace.Trace, error) {
+	if len(reads) == 0 {
+		return nil, nil
+	}
+	if c.PopularRate < 0 || c.VeryMutableRate < 0 || c.MutableRate < 0 || c.DefaultRate < 0 {
+		return nil, fmt.Errorf("workload: negative write rate in %+v", c)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	st := trace.Summarize(reads)
+
+	// Rank objects by read count.
+	counts := make(map[objKey]int)
+	sizes := make(map[objKey]int64)
+	for _, e := range reads {
+		if e.Op != trace.OpRead {
+			continue
+		}
+		k := objKey{e.Server, e.Object}
+		counts[k]++
+		sizes[k] = e.Size
+	}
+	keys := make([]objKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		if keys[i].server != keys[j].server {
+			return keys[i].server < keys[j].server
+		}
+		return keys[i].object < keys[j].object
+	})
+
+	classes := assignClasses(keys, rng)
+	rate := map[mutClass]float64{
+		classPopular:     c.PopularRate,
+		classVeryMutable: c.VeryMutableRate,
+		classMutable:     c.MutableRate,
+		classDefault:     c.DefaultRate,
+	}
+
+	days := st.Duration.Hours() / 24
+	if days <= 0 {
+		days = 1.0 / 24 // degenerate single-instant trace: one nominal hour
+	}
+	var writes trace.Trace
+	for i, k := range keys {
+		perDay := rate[classes[i]]
+		if perDay <= 0 {
+			continue
+		}
+		// Poisson arrivals: exponential gaps with mean 1/perDay days.
+		tSec := clock.Seconds(st.Start)
+		endSec := clock.Seconds(st.Start) + days*86400
+		for {
+			tSec += rng.ExpFloat64() / perDay * 86400
+			if tSec >= endSec {
+				break
+			}
+			writes = append(writes, trace.Event{
+				Time:   clock.At(tSec),
+				Op:     trace.OpWrite,
+				Server: k.server,
+				Object: k.object,
+				Size:   sizes[k],
+			})
+		}
+	}
+	writes.Sort()
+	return writes, nil
+}
+
+// assignClasses implements the paper's split: top 10% by read count are
+// "popular"; of ALL objects, 3% very mutable, 10% mutable, 77% default,
+// drawn randomly from the non-popular remainder.
+func assignClasses(rankedKeys []objKey, rng *rand.Rand) []mutClass {
+	n := len(rankedKeys)
+	classes := make([]mutClass, n)
+	nPopular := n / 10
+	for i := 0; i < nPopular; i++ {
+		classes[i] = classPopular
+	}
+	rest := make([]int, 0, n-nPopular)
+	for i := nPopular; i < n; i++ {
+		rest = append(rest, i)
+	}
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	nVery := (n * 3) / 100
+	nMut := n / 10
+	for i, idx := range rest {
+		switch {
+		case i < nVery:
+			classes[idx] = classVeryMutable
+		case i < nVery+nMut:
+			classes[idx] = classMutable
+		default:
+			classes[idx] = classDefault
+		}
+	}
+	return classes
+}
+
+// BurstyConfig parameterizes the bursty-write transform of Section 5.3.
+type BurstyConfig struct {
+	Seed int64
+	// MeanExtra is the mean of the exponential distribution from which the
+	// number of additional same-volume objects modified alongside each write
+	// is drawn. The paper uses 10.
+	MeanExtra float64
+}
+
+// DefaultBurstyConfig returns the paper's bursty-write parameters.
+func DefaultBurstyConfig() BurstyConfig { return BurstyConfig{Seed: 3, MeanExtra: 10} }
+
+// MakeBursty expands each write in writes so that k additional objects from
+// the same volume are modified at the same instant, k ~ Exp(MeanExtra).
+// The universe supplies each volume's object list. Extra writes target
+// distinct objects different from the original when the volume is large
+// enough.
+func MakeBursty(writes trace.Trace, u *Universe, c BurstyConfig) (trace.Trace, error) {
+	if c.MeanExtra < 0 {
+		return nil, fmt.Errorf("workload: negative MeanExtra %v", c.MeanExtra)
+	}
+	byName := make(map[string]*ServerSpec, len(u.Servers))
+	for i := range u.Servers {
+		byName[u.Servers[i].Name] = &u.Servers[i]
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	out := make(trace.Trace, 0, len(writes)*2)
+	for _, e := range writes {
+		out = append(out, e)
+		if e.Op != trace.OpWrite {
+			continue
+		}
+		srv, ok := byName[e.Server]
+		if !ok {
+			return nil, fmt.Errorf("workload: write references unknown server %q", e.Server)
+		}
+		k := int(rng.ExpFloat64() * c.MeanExtra)
+		if k > len(srv.Objects)-1 {
+			k = len(srv.Objects) - 1
+		}
+		if k <= 0 {
+			continue
+		}
+		// Sample k distinct extra objects by partial shuffle of indices.
+		idx := rng.Perm(len(srv.Objects))
+		added := 0
+		for _, oi := range idx {
+			if added == k {
+				break
+			}
+			if srv.Objects[oi] == e.Object {
+				continue
+			}
+			out = append(out, trace.Event{
+				Time:   e.Time,
+				Op:     trace.OpWrite,
+				Server: e.Server,
+				Object: srv.Objects[oi],
+				Size:   srv.Sizes[oi],
+			})
+			added++
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// Default generates the full default workload (reads + synthesized writes),
+// returning the merged trace and the universe.
+func Default(rc ReadConfig, wc WriteConfig) (trace.Trace, *Universe, error) {
+	reads, u, err := GenerateReads(rc)
+	if err != nil {
+		return nil, nil, err
+	}
+	writes, err := SynthesizeWrites(reads, wc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace.Merge(reads, writes), u, nil
+}

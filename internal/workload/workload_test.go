@@ -1,0 +1,430 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// smallConfig returns a fast configuration for tests.
+func smallConfig() ReadConfig {
+	c := DefaultReadConfig()
+	c.Clients = 8
+	c.Servers = 20
+	c.Objects = 400
+	c.Duration = 3 * 24 * time.Hour
+	c.SessionRate = 10
+	return c
+}
+
+func TestReadConfigValidate(t *testing.T) {
+	base := smallConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []struct {
+		name string
+		f    func(*ReadConfig)
+	}{
+		{"no clients", func(c *ReadConfig) { c.Clients = 0 }},
+		{"no servers", func(c *ReadConfig) { c.Servers = 0 }},
+		{"objects < servers", func(c *ReadConfig) { c.Objects = c.Servers - 1 }},
+		{"zero duration", func(c *ReadConfig) { c.Duration = 0 }},
+		{"zero session rate", func(c *ReadConfig) { c.SessionRate = 0 }},
+		{"views per session", func(c *ReadConfig) { c.ViewsPerSession = 0.5 }},
+		{"embedded per view", func(c *ReadConfig) { c.EmbeddedPerView = -1 }},
+		{"view gap", func(c *ReadConfig) { c.ViewGap = 0 }},
+		{"think time", func(c *ReadConfig) { c.ThinkTime = 0 }},
+		{"server zipf", func(c *ReadConfig) { c.ServerZipfS = 1.0 }},
+		{"object zipf", func(c *ReadConfig) { c.ObjectZipfS = 0.9 }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			c := base
+			m.f(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateReadsDeterministic(t *testing.T) {
+	c := smallConfig()
+	a, _, err := GenerateReads(c)
+	if err != nil {
+		t.Fatalf("GenerateReads: %v", err)
+	}
+	b, _, err := GenerateReads(c)
+	if err != nil {
+		t.Fatalf("GenerateReads: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateReadsSeedChangesOutput(t *testing.T) {
+	c := smallConfig()
+	a, _, _ := GenerateReads(c)
+	c.Seed = 99
+	b, _, _ := GenerateReads(c)
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateReadsShape(t *testing.T) {
+	c := smallConfig()
+	tr, u, err := GenerateReads(c)
+	if err != nil {
+		t.Fatalf("GenerateReads: %v", err)
+	}
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	st := trace.Summarize(tr)
+	if st.Writes != 0 {
+		t.Errorf("read trace contains %d writes", st.Writes)
+	}
+	if st.Clients > c.Clients {
+		t.Errorf("trace has %d clients, config allows %d", st.Clients, c.Clients)
+	}
+	if st.Servers > c.Servers {
+		t.Errorf("trace has %d servers, config allows %d", st.Servers, c.Servers)
+	}
+	if got := u.ObjectCount(); got != c.Objects {
+		t.Errorf("universe has %d objects, want %d", got, c.Objects)
+	}
+	// Sorted by time.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Time.Before(tr[i-1].Time) {
+			t.Fatalf("trace not sorted at %d", i)
+		}
+	}
+	// All events within [epoch, epoch+duration+slack] (sessions can extend
+	// past the nominal end by their internal think times).
+	maxSec := c.Duration.Seconds() * 1.5
+	for _, e := range tr {
+		if s := e.Seconds(); s < 0 || s > maxSec {
+			t.Fatalf("event outside time range: %v", s)
+		}
+	}
+}
+
+func TestGenerateReadsSkew(t *testing.T) {
+	c := smallConfig()
+	tr, _, err := GenerateReads(c)
+	if err != nil {
+		t.Fatalf("GenerateReads: %v", err)
+	}
+	counts := trace.ServerReadCounts(tr)
+	top := trace.TopServers(tr, 3)
+	var topReads, total int
+	for _, s := range top {
+		topReads += counts[s]
+	}
+	for _, n := range counts {
+		total += n
+	}
+	// Zipf 1.4 over 20 servers: top-3 should dominate.
+	if frac := float64(topReads) / float64(total); frac < 0.5 {
+		t.Errorf("top-3 servers got %.2f of reads, want skew > 0.5", frac)
+	}
+}
+
+func TestGenerateReadsInvalidConfig(t *testing.T) {
+	c := smallConfig()
+	c.Clients = -1
+	if _, _, err := GenerateReads(c); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPoissonCountMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mean := range []float64{0.5, 4, 100} {
+		n := 4000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poissonCount(rng, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > mean*0.15+0.15 {
+			t.Errorf("poisson mean %v: sample mean %v", mean, got)
+		}
+	}
+	if poissonCount(rng, 0) != 0 || poissonCount(rng, -3) != 0 {
+		t.Error("non-positive mean should give 0")
+	}
+}
+
+func TestSynthesizeWritesClasses(t *testing.T) {
+	// Build a deterministic read trace: 100 objects with descending read
+	// counts, over 10 days.
+	var reads trace.Trace
+	day := 24 * time.Hour
+	for obj := 0; obj < 100; obj++ {
+		// object i read (100-i) times spread over 10 days
+		for r := 0; r < 100-obj; r++ {
+			reads = append(reads, trace.Event{
+				Time:   trace.Event{}.Time.Add(0), // placeholder, set below
+				Op:     trace.OpRead,
+				Client: "c",
+				Server: "s",
+				Object: objName(obj),
+				Size:   100,
+			})
+		}
+	}
+	// Spread times uniformly.
+	for i := range reads {
+		reads[i].Time = clock.At(float64(i) / float64(len(reads)) * 10 * day.Seconds())
+	}
+	reads.Sort()
+
+	wc := DefaultWriteConfig()
+	writes, err := SynthesizeWrites(reads, wc)
+	if err != nil {
+		t.Fatalf("SynthesizeWrites: %v", err)
+	}
+	// With rates {0.005, 0.2, 0.05, 0.02} per day over 10 days for 100
+	// objects, expect roughly 10*(10*0.005 + 3*0.2 + 10*0.05 + 77*0.02)/1 ≈
+	// 27 writes. Accept a broad band.
+	if len(writes) < 5 || len(writes) > 100 {
+		t.Errorf("got %d writes, expected tens", len(writes))
+	}
+	for _, w := range writes {
+		if w.Op != trace.OpWrite || w.Server != "s" {
+			t.Fatalf("bad write event %+v", w)
+		}
+	}
+	// Determinism.
+	again, _ := SynthesizeWrites(reads, wc)
+	if len(again) != len(writes) {
+		t.Errorf("non-deterministic writes: %d vs %d", len(again), len(writes))
+	}
+}
+
+func TestSynthesizeWritesEmptyAndErrors(t *testing.T) {
+	if w, err := SynthesizeWrites(nil, DefaultWriteConfig()); err != nil || w != nil {
+		t.Errorf("empty reads: %v %v", w, err)
+	}
+	var reads trace.Trace
+	reads = append(reads, trace.Event{Time: clock.At(0), Op: trace.OpRead, Client: "c", Server: "s", Object: "o", Size: 1})
+	bad := DefaultWriteConfig()
+	bad.MutableRate = -1
+	if _, err := SynthesizeWrites(reads, bad); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestSynthesizeWritesPopularWriteLess(t *testing.T) {
+	// Popular objects (top 10% by reads) must receive far fewer writes per
+	// object than the rest, per the paper's model.
+	c := smallConfig()
+	c.Duration = 30 * 24 * time.Hour
+	reads, _, err := GenerateReads(c)
+	if err != nil {
+		t.Fatalf("GenerateReads: %v", err)
+	}
+	wc := DefaultWriteConfig()
+	writes, err := SynthesizeWrites(reads, wc)
+	if err != nil {
+		t.Fatalf("SynthesizeWrites: %v", err)
+	}
+	// Rank objects by reads, find the popular cut.
+	counts := make(map[objKey]int)
+	for _, e := range reads {
+		counts[objKey{e.Server, e.Object}]++
+	}
+	type kc struct {
+		k objKey
+		n int
+	}
+	ranked := make([]kc, 0, len(counts))
+	for k, n := range counts {
+		ranked = append(ranked, kc{k, n})
+	}
+	// simple selection of top tenth by count
+	popular := make(map[objKey]bool)
+	nPop := len(ranked) / 10
+	for i := 0; i < nPop; i++ {
+		best := i
+		for j := i + 1; j < len(ranked); j++ {
+			if ranked[j].n > ranked[best].n {
+				best = j
+			}
+		}
+		ranked[i], ranked[best] = ranked[best], ranked[i]
+		popular[ranked[i].k] = true
+	}
+	var popWrites, otherWrites int
+	for _, w := range writes {
+		if popular[objKey{w.Server, w.Object}] {
+			popWrites++
+		} else {
+			otherWrites++
+		}
+	}
+	nOther := len(ranked) - nPop
+	if nPop == 0 || nOther == 0 {
+		t.Skip("degenerate split")
+	}
+	popPer := float64(popWrites) / float64(nPop)
+	otherPer := float64(otherWrites) / float64(nOther)
+	if popPer >= otherPer {
+		t.Errorf("popular objects written as often as others: %.4f vs %.4f", popPer, otherPer)
+	}
+}
+
+func TestAssignClassesProportions(t *testing.T) {
+	keys := make([]objKey, 1000)
+	for i := range keys {
+		keys[i] = objKey{"s", objName(i)}
+	}
+	classes := assignClasses(keys, rand.New(rand.NewSource(1)))
+	count := map[mutClass]int{}
+	for _, c := range classes {
+		count[c]++
+	}
+	if count[classPopular] != 100 {
+		t.Errorf("popular = %d, want 100", count[classPopular])
+	}
+	if count[classVeryMutable] != 30 {
+		t.Errorf("very mutable = %d, want 30", count[classVeryMutable])
+	}
+	if count[classMutable] != 100 {
+		t.Errorf("mutable = %d, want 100", count[classMutable])
+	}
+	if count[classDefault] != 770 {
+		t.Errorf("default = %d, want 770", count[classDefault])
+	}
+	// Popular must be the first (most-read) tenth.
+	for i := 0; i < 100; i++ {
+		if classes[i] != classPopular {
+			t.Fatalf("rank %d not popular", i)
+		}
+	}
+}
+
+func TestMakeBursty(t *testing.T) {
+	u := &Universe{Servers: []ServerSpec{{
+		Name:    "s",
+		Objects: []string{"/a", "/b", "/c", "/d", "/e"},
+		Sizes:   []int64{1, 2, 3, 4, 5},
+	}}}
+	var writes trace.Trace
+	for i := 0; i < 50; i++ {
+		writes = append(writes, trace.Event{
+			Time: clock.At(float64(i * 100)), Op: trace.OpWrite,
+			Server: "s", Object: "/a", Size: 1,
+		})
+	}
+	out, err := MakeBursty(writes, u, BurstyConfig{Seed: 4, MeanExtra: 2})
+	if err != nil {
+		t.Fatalf("MakeBursty: %v", err)
+	}
+	if len(out) <= len(writes) {
+		t.Fatalf("bursty trace not larger: %d vs %d", len(out), len(writes))
+	}
+	// Extra writes must share the instant of an original write, be in the
+	// same volume, and not exceed the volume size.
+	perInstant := map[float64]map[string]bool{}
+	for _, e := range out {
+		if e.Op != trace.OpWrite {
+			t.Fatalf("non-write in bursty output: %+v", e)
+		}
+		s := e.Seconds()
+		if perInstant[s] == nil {
+			perInstant[s] = map[string]bool{}
+		}
+		if perInstant[s][e.Object] {
+			t.Fatalf("duplicate write to %s at %v", e.Object, s)
+		}
+		perInstant[s][e.Object] = true
+	}
+	for s, objs := range perInstant {
+		if len(objs) > 5 {
+			t.Errorf("instant %v writes %d objects, volume only has 5", s, len(objs))
+		}
+		if !objs["/a"] {
+			t.Errorf("instant %v missing the original write", s)
+		}
+	}
+}
+
+func TestMakeBurstyErrors(t *testing.T) {
+	u := &Universe{Servers: []ServerSpec{{Name: "s", Objects: []string{"/a"}, Sizes: []int64{1}}}}
+	w := trace.Trace{{Time: clock.At(0), Op: trace.OpWrite, Server: "nope", Object: "/a", Size: 1}}
+	if _, err := MakeBursty(w, u, DefaultBurstyConfig()); err == nil {
+		t.Error("unknown server accepted")
+	}
+	if _, err := MakeBursty(nil, u, BurstyConfig{MeanExtra: -1}); err == nil {
+		t.Error("negative MeanExtra accepted")
+	}
+}
+
+func TestMakeBurstySingleObjectVolume(t *testing.T) {
+	u := &Universe{Servers: []ServerSpec{{Name: "s", Objects: []string{"/a"}, Sizes: []int64{1}}}}
+	w := trace.Trace{{Time: clock.At(0), Op: trace.OpWrite, Server: "s", Object: "/a", Size: 1}}
+	out, err := MakeBursty(w, u, BurstyConfig{Seed: 1, MeanExtra: 10})
+	if err != nil {
+		t.Fatalf("MakeBursty: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("single-object volume produced %d writes, want 1", len(out))
+	}
+}
+
+func TestDefaultWorkload(t *testing.T) {
+	rc := smallConfig()
+	tr, u, err := Default(rc, DefaultWriteConfig())
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	st := trace.Summarize(tr)
+	if st.Reads == 0 || st.Writes == 0 {
+		t.Fatalf("default workload missing reads or writes: %+v", st)
+	}
+	if u == nil {
+		t.Fatal("nil universe")
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Time.Before(tr[i-1].Time) {
+			t.Fatal("merged trace not sorted")
+		}
+	}
+}
+
+func objName(i int) string { return "/o" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
