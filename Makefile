@@ -2,12 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures fuzz examples clean
+.PHONY: all build vet test race check cover bench figures fuzz examples clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
@@ -15,6 +17,9 @@ test:
 
 race:
 	$(GO) test -race ./internal/... ./cmd/...
+
+# The full gate: compile, static checks, tests, and the race detector.
+check: build vet test race
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -19,6 +19,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -188,6 +189,46 @@ func BenchmarkServerCachedRead(b *testing.B) {
 		b.Fatal(err)
 	}
 	cl, err := client.Dial(net, "srv:1", client.Config{ID: "c"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Read("v", "o"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Read("v", "o"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerCachedReadObserved is BenchmarkServerCachedRead with the
+// full observability stack attached — metrics registry, event tracing into
+// a counting sink, and per-kind wire counters — so the delta against the
+// bare benchmark is the live cost of instrumentation (the bare run pays
+// only nil checks; see internal/obs BenchmarkEmitDisabled).
+func BenchmarkServerCachedReadObserved(b *testing.B) {
+	reg := obs.NewRegistry()
+	observer := &obs.Observer{Metrics: reg, Tracer: obs.NewTracer(obs.NewCountSink())}
+	net := transport.ObserveNetwork(transport.NewMemory(),
+		obs.WireObserver(observer, "srv", time.Now))
+	srv, err := server.New(server.Config{
+		Name: "srv", Addr: "srv:1", Net: net, Obs: observer,
+		Table: core.Config{ObjectLease: time.Hour, VolumeLease: time.Hour, Mode: core.ModeEager},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.AddVolume("v"); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.AddObject("v", "o", make([]byte, 4096)); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := client.Dial(net, "srv:1", client.Config{ID: "c", Obs: observer})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -45,6 +46,7 @@ type options struct {
 	objLease   time.Duration
 	volLease   time.Duration
 	useTCP     bool
+	debugAddr  string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -59,6 +61,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.objLease, "object-lease", time.Minute, "object lease (self-contained mode)")
 	fs.DurationVar(&o.volLease, "volume-lease", 5*time.Second, "volume lease (self-contained mode)")
 	fs.BoolVar(&o.useTCP, "tcp", false, "self-contained mode: use loopback TCP instead of the in-memory transport")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof during the run (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -101,6 +104,27 @@ func execute(o options) (*result, error) {
 		net  transport.Network
 		addr = o.addr
 	)
+
+	// Optional live observability: a registry scraped over HTTP while the
+	// benchmark runs, fed by the self-contained server (when present) and by
+	// the clients' cache counters.
+	var (
+		observer *obs.Observer
+		rec      *metrics.Recorder
+	)
+	if o.debugAddr != "" {
+		reg := obs.NewRegistry()
+		observer = &obs.Observer{Metrics: reg}
+		rec = metrics.NewRecorder()
+		obs.RegisterRecorder(reg, rec)
+		dbg, err := obs.Serve(o.debugAddr, reg, nil)
+		if err != nil {
+			return nil, err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "leasebench: debug server on http://%s\n", dbg.Addr())
+	}
+
 	var srv *server.Server
 	if addr == "" {
 		// Self-contained: build the server here.
@@ -123,6 +147,8 @@ func execute(o options) (*result, error) {
 				Mode:        core.ModeEager,
 			},
 			MsgTimeout: 100 * time.Millisecond,
+			Recorder:   rec,
+			Obs:        observer,
 		})
 		if err != nil {
 			return nil, err
@@ -154,6 +180,7 @@ func execute(o options) (*result, error) {
 			ID:      core.ClientID(fmt.Sprintf("bench-%d", i)),
 			Timeout: 10 * time.Second,
 			Redial:  true,
+			Obs:     observer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("dial client %d: %w", i, err)

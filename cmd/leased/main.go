@@ -6,9 +6,14 @@
 //
 //	leased -addr :7400 -volume site -objects 100
 //	leased -addr :7400 -volume docs -dir ./content      # one object per file
+//	leased -addr :7400 -volume site -debug-addr :7401   # metrics + pprof
 //
 // Flags select the consistency mode: -mode eager (basic volume leases) or
 // -mode delayed (delayed invalidations, with -discard for the paper's d).
+//
+// With -debug-addr set, a debug HTTP server exposes /metrics (Prometheus
+// text), /debug/vars (JSON), /debug/pprof/ (runtime profiles) and
+// /debug/events (the last -trace protocol events).
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -34,71 +41,176 @@ func main() {
 	}
 }
 
-func run() error {
-	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
-	volume := flag.String("volume", "vol", "volume id")
-	nObjects := flag.Int("objects", 10, "number of synthetic objects to seed (obj-0 .. obj-N-1)")
-	dir := flag.String("dir", "", "seed one object per file under this directory instead")
-	objLease := flag.Duration("object-lease", 10*time.Minute, "object lease duration (paper's t)")
-	volLease := flag.Duration("volume-lease", 30*time.Second, "volume lease duration (paper's t_v)")
-	mode := flag.String("mode", "eager", "invalidation mode: eager or delayed")
-	discard := flag.Duration("discard", 0, "delayed mode: inactive discard time d (0 = never)")
-	msgTimeout := flag.Duration("msg-timeout", time.Second, "minimum invalidation ack wait")
-	bestEffort := flag.Bool("best-effort", false, "best-effort writes (bounded staleness, minimal write delay)")
-	stateDir := flag.String("state-dir", "", "persist volume epochs + lease bound here (crash recovery per Section 3.1.2)")
-	verbose := flag.Bool("v", false, "verbose logging")
-	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 = off)")
-	flag.Parse()
+// options collects everything run() parses from flags, so tests can start a
+// fully wired daemon in-process.
+type options struct {
+	addr       string
+	volume     string
+	nObjects   int
+	dir        string
+	objLease   time.Duration
+	volLease   time.Duration
+	mode       string
+	discard    time.Duration
+	msgTimeout time.Duration
+	bestEffort bool
+	stateDir   string
+	verbose    bool
+	debugAddr  string
+	traceLen   int
+	slowWrite  time.Duration
 
-	tableCfg := core.Config{
-		ObjectLease:     *objLease,
-		VolumeLease:     *volLease,
-		Mode:            core.ModeEager,
-		InactiveDiscard: *discard,
+	// net overrides the transport (tests); nil means TCP.
+	net transport.Network
+}
+
+// instance is a started daemon: the lease server plus its observability
+// plumbing.
+type instance struct {
+	srv     *server.Server
+	debug   *obs.DebugServer
+	rec     *metrics.Recorder
+	reg     *obs.Registry
+	ring    *obs.RingSink
+	seeded  int
+	mode    core.Mode
+	volLog  string
+	objLog  time.Duration
+	volLeas time.Duration
+}
+
+func (in *instance) Close() {
+	if in.debug != nil {
+		in.debug.Close()
 	}
-	switch *mode {
+	in.srv.Close()
+}
+
+// start builds the observability stack, starts the server, registers the
+// volume, and seeds objects.
+func start(opts options) (*instance, error) {
+	tableCfg := core.Config{
+		ObjectLease:     opts.objLease,
+		VolumeLease:     opts.volLease,
+		Mode:            core.ModeEager,
+		InactiveDiscard: opts.discard,
+	}
+	switch opts.mode {
 	case "eager":
 	case "delayed":
 		tableCfg.Mode = core.ModeDelayed
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		return nil, fmt.Errorf("unknown mode %q", opts.mode)
 	}
 
-	cfg := server.Config{
-		Name:       *volume,
-		Addr:       *addr,
-		Net:        transport.TCP{},
-		Table:      tableCfg,
-		MsgTimeout: *msgTimeout,
-		StateDir:   *stateDir,
+	netw := opts.net
+	if netw == nil {
+		netw = transport.TCP{}
 	}
-	if *bestEffort {
+
+	in := &instance{
+		rec:     metrics.NewRecorder(),
+		mode:    tableCfg.Mode,
+		volLog:  opts.volume,
+		objLog:  opts.objLease,
+		volLeas: opts.volLease,
+	}
+
+	// Observability: always collect (the cost is atomic counters); the debug
+	// address only controls whether anything is served.
+	in.reg = obs.NewRegistry()
+	observer := &obs.Observer{Metrics: in.reg}
+	if opts.traceLen > 0 {
+		in.ring = obs.NewRingSink(opts.traceLen)
+		observer.Tracer = obs.NewTracer(in.ring)
+	}
+	obs.RegisterRecorder(in.reg, in.rec)
+	netw = transport.ObserveNetwork(netw, obs.WireObserver(observer, opts.volume, time.Now))
+
+	cfg := server.Config{
+		Name:               opts.volume,
+		Addr:               opts.addr,
+		Net:                netw,
+		Table:              tableCfg,
+		MsgTimeout:         opts.msgTimeout,
+		StateDir:           opts.stateDir,
+		Recorder:           in.rec,
+		Obs:                observer,
+		SlowWriteThreshold: opts.slowWrite,
+	}
+	if opts.bestEffort {
 		cfg.WriteMode = server.WriteBestEffort
 	}
-	if *verbose {
+	if opts.verbose {
 		cfg.Logf = log.Printf
 	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer srv.Close()
-	if err := srv.AddVolume(core.VolumeID(*volume)); err != nil {
-		return err
+	in.srv = srv
+	if err := srv.AddVolume(core.VolumeID(opts.volume)); err != nil {
+		srv.Close()
+		return nil, err
 	}
 
-	count, err := seedObjects(srv, core.VolumeID(*volume), *dir, *nObjects)
+	in.seeded, err = seedObjects(srv, core.VolumeID(opts.volume), opts.dir, opts.nObjects)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+
+	if opts.debugAddr != "" {
+		in.debug, err = obs.Serve(opts.debugAddr, in.reg, in.ring)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+func run() error {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:7400", "listen address")
+	flag.StringVar(&opts.volume, "volume", "vol", "volume id")
+	flag.IntVar(&opts.nObjects, "objects", 10, "number of synthetic objects to seed (obj-0 .. obj-N-1)")
+	flag.StringVar(&opts.dir, "dir", "", "seed one object per file under this directory instead")
+	flag.DurationVar(&opts.objLease, "object-lease", 10*time.Minute, "object lease duration (paper's t)")
+	flag.DurationVar(&opts.volLease, "volume-lease", 30*time.Second, "volume lease duration (paper's t_v)")
+	flag.StringVar(&opts.mode, "mode", "eager", "invalidation mode: eager or delayed")
+	flag.DurationVar(&opts.discard, "discard", 0, "delayed mode: inactive discard time d (0 = never)")
+	flag.DurationVar(&opts.msgTimeout, "msg-timeout", time.Second, "minimum invalidation ack wait")
+	flag.BoolVar(&opts.bestEffort, "best-effort", false, "best-effort writes (bounded staleness, minimal write delay)")
+	flag.StringVar(&opts.stateDir, "state-dir", "", "persist volume epochs + lease bound here (crash recovery per Section 3.1.2)")
+	flag.BoolVar(&opts.verbose, "v", false, "verbose logging")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 = off)")
+	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/events on this address (empty = off)")
+	flag.IntVar(&opts.traceLen, "trace", 256, "protocol events kept for /debug/events (0 = tracing off)")
+	flag.DurationVar(&opts.slowWrite, "slow-write", 0, "log writes whose invalidation wait reaches this (0 = off)")
+	flag.Parse()
+
+	in, err := start(opts)
 	if err != nil {
 		return err
 	}
+	defer in.Close()
+
 	log.Printf("leased: serving volume %q (%d objects, mode=%s, t=%v, tv=%v) on %s",
-		*volume, count, tableCfg.Mode, *objLease, *volLease, srv.Addr())
+		in.volLog, in.seeded, in.mode, in.objLog, in.volLeas, in.srv.Addr())
+	if in.debug != nil {
+		endpoints := "/metrics /debug/vars /debug/pprof"
+		if in.ring != nil {
+			endpoints += " /debug/events"
+		}
+		log.Printf("leased: debug server on http://%s (%s)", in.debug.Addr(), endpoints)
+	}
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
-				st := srv.Stats()
+				st := in.srv.Stats()
 				log.Printf("leased: stats %+v", st)
 			}
 		}()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/transport"
 )
@@ -43,18 +44,30 @@ func run() error {
 	msgTimeout := flag.Duration("msg-timeout", time.Second, "minimum downstream ack wait")
 	verbose := flag.Bool("v", false, "verbose logging")
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/events on this address (empty = off)")
+	traceLen := flag.Int("trace", 256, "protocol events kept for /debug/events (0 = tracing off)")
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	observer := &obs.Observer{Metrics: reg}
+	var ring *obs.RingSink
+	if *traceLen > 0 {
+		ring = obs.NewRingSink(*traceLen)
+		observer.Tracer = obs.NewTracer(ring)
+	}
+	netw := transport.ObserveNetwork(transport.TCP{}, obs.WireObserver(observer, *id, time.Now))
 
 	cfg := proxy.Config{
 		ID:             core.ClientID(*id),
 		Addr:           *addr,
-		Net:            transport.TCP{},
+		Net:            netw,
 		Upstream:       *upstream,
 		Volume:         core.VolumeID(*volume),
 		SubObjectLease: *objLease,
 		SubVolumeLease: *volLease,
 		StartupFence:   *fence,
 		MsgTimeout:     *msgTimeout,
+		Obs:            observer,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -66,6 +79,15 @@ func run() error {
 	defer px.Close()
 	log.Printf("leaseproxy: serving volume %q on %s (upstream %s, sub-leases t=%v tv=%v)",
 		*volume, px.Addr(), *upstream, *objLease, *volLease)
+
+	if *debugAddr != "" {
+		dbg, err := obs.Serve(*debugAddr, reg, ring)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		log.Printf("leaseproxy: debug server on http://%s", dbg.Addr())
+	}
 
 	if *statsEvery > 0 {
 		go func() {

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// origin's write completes only after the whole subtree has dropped the
 	// object.
 	OnInvalidate func(objects []core.ObjectID)
+	// Obs, when non-nil, receives protocol events (invalidations received,
+	// redials, reconnection rounds) and exposes the cache counters as
+	// scrape-time gauges. A nil Obs costs the hot paths a single nil check.
+	Obs *obs.Observer
 	// Logf, when non-nil, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -142,9 +147,9 @@ func Dial(net transport.Network, addr string, cfg Config) (*Client, error) {
 		return nil, errors.New("client: Config.ID is required")
 	}
 	dialer := func() (transport.Conn, error) {
-		if mem, ok := net.(*transport.Memory); ok {
+		if fd, ok := net.(transport.FromDialer); ok {
 			// Preserve the client's identity as the host for partition tests.
-			return mem.DialFrom(string(cfg.ID), addr)
+			return fd.DialFrom(string(cfg.ID), addr)
 		}
 		return net.Dial(addr)
 	}
@@ -178,9 +183,48 @@ func NewOnConn(conn transport.Conn, cfg Config) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("client: hello: %w", err)
 	}
+	c.initObs()
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
+}
+
+// initObs exposes the cache-behavior counters as scrape-time gauges, labeled
+// by client ID.
+func (c *Client) initObs() {
+	reg := c.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	labels := fmt.Sprintf("{client=%q}", string(c.cfg.ID))
+	reg.GaugeFunc("lease_client_local_reads_total"+labels, func() float64 {
+		local, _, _ := c.Stats()
+		return float64(local)
+	})
+	reg.GaugeFunc("lease_client_server_reads_total"+labels, func() float64 {
+		_, server, _ := c.Stats()
+		return float64(server)
+	})
+	reg.GaugeFunc("lease_client_invalidations_total"+labels, func() float64 {
+		_, _, invals := c.Stats()
+		return float64(invals)
+	})
+}
+
+// emit sends a protocol event when tracing is live, stamping Node and At
+// after the enabled check so the disabled path never reads the clock.
+func (c *Client) emit(e obs.Event) {
+	if !c.cfg.Obs.Tracing() {
+		return
+	}
+	e.Node = string(c.cfg.ID)
+	if e.Client == "" {
+		e.Client = c.cfg.ID
+	}
+	if e.At.IsZero() {
+		e.At = c.cfg.Clock.Now()
+	}
+	c.cfg.Obs.Emit(e)
 }
 
 // Close tears the client down.
@@ -301,6 +345,7 @@ func (c *Client) redial() bool {
 				c.mu.Lock()
 				c.conn = conn
 				c.mu.Unlock()
+				c.emit(obs.Event{Type: obs.EvRedial})
 				c.logf("reconnected")
 				return true
 			}
@@ -334,6 +379,7 @@ func (c *Client) send(m wire.Message) error {
 // and lease, propagate to the OnInvalidate hook, then acknowledge (Figure
 // 4, "Client receives object invalidation message").
 func (c *Client) handleInvalidate(inv wire.Invalidate) {
+	c.emit(obs.Event{Type: obs.EvInvalRecv, N: len(inv.Objects)})
 	c.dropObjects(inv.Objects)
 	if c.cfg.OnInvalidate != nil {
 		c.cfg.OnInvalidate(inv.Objects)

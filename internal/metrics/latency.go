@@ -81,15 +81,26 @@ func (h *LatencyHistogram) Max() time.Duration {
 	return h.max
 }
 
-// Quantile reports an upper bound for the p-quantile (0 < p <= 1), accurate
-// to the bucket resolution (~8%).
+// Sum reports the total of all observed latencies.
+func (h *LatencyHistogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile reports an upper bound for the p-quantile, accurate to the
+// bucket resolution (~8%). Edge cases are pinned down: an empty histogram
+// reports 0 for every p; p values outside [0,1] (including NaN) are
+// clamped; p = 0 reports the smallest observed bucket's bound and p = 1
+// reports the exact maximum; with a single sample every quantile is that
+// sample.
 func (h *LatencyHistogram) Quantile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
-	if p < 0 {
+	if math.IsNaN(p) || p < 0 {
 		p = 0
 	}
 	if p > 1 {
@@ -109,7 +120,11 @@ func (h *LatencyHistogram) Quantile(p float64) time.Duration {
 		seen += h.buckets[idx]
 		if seen >= target {
 			upper := bucketLow(idx + 1)
-			if upper > h.max {
+			// The bucket bound can exceed the true maximum (the last
+			// sample rarely sits at the top of its bucket) or overflow
+			// time.Duration for extreme indices; the observed max is the
+			// tight, always-safe answer in both cases.
+			if upper <= 0 || upper > h.max {
 				upper = h.max
 			}
 			return upper

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -124,5 +125,68 @@ func TestLatencyHistogramSummary(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary %q missing %q", out, want)
 		}
+	}
+}
+
+func TestLatencyHistogramQuantileEdgeCases(t *testing.T) {
+	sample := 42 * time.Millisecond
+	single := NewLatencyHistogram()
+	single.Observe(sample)
+	many := NewLatencyHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond} {
+		many.Observe(d)
+	}
+	huge := NewLatencyHistogram()
+	huge.Observe(200 * 365 * 24 * time.Hour) // bucket bound would overflow time.Duration
+
+	tests := []struct {
+		name string
+		h    *LatencyHistogram
+		p    float64
+		want time.Duration
+		// upTo allows bucket slack: want <= got <= upTo.
+		upTo time.Duration
+	}{
+		{name: "empty p0", h: NewLatencyHistogram(), p: 0, want: 0},
+		{name: "empty p50", h: NewLatencyHistogram(), p: 0.5, want: 0},
+		{name: "empty p100", h: NewLatencyHistogram(), p: 1, want: 0},
+		{name: "single p0", h: single, p: 0, want: sample},
+		{name: "single p50", h: single, p: 0.5, want: sample},
+		{name: "single p100", h: single, p: 1, want: sample},
+		{name: "single NaN", h: single, p: math.NaN(), want: sample},
+		{name: "single below range", h: single, p: -3, want: sample},
+		{name: "single above range", h: single, p: 7, want: sample},
+		{name: "many p0 is smallest bucket", h: many, p: 0,
+			want: time.Millisecond, upTo: 2 * time.Millisecond},
+		{name: "many p100 is exact max", h: many, p: 1, want: 100 * time.Millisecond},
+		{name: "overflowing bucket falls back to max", h: huge, p: 0.99,
+			want: 200 * 365 * 24 * time.Hour},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.h.Quantile(tc.p)
+			hi := tc.upTo
+			if hi == 0 {
+				hi = tc.want
+			}
+			// A single sample caps every quantile at the observed max, so
+			// these are exact; multi-sample cases allow the ~8% bucket slack
+			// declared via upTo.
+			if got < tc.want || got > hi {
+				t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.p, got, tc.want, hi)
+			}
+		})
+	}
+}
+
+func TestLatencyHistogramSum(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Sum() != 0 {
+		t.Fatalf("empty Sum = %v", h.Sum())
+	}
+	h.Observe(time.Second)
+	h.Observe(2 * time.Second)
+	if got := h.Sum(); got != 3*time.Second {
+		t.Errorf("Sum = %v, want 3s", got)
 	}
 }

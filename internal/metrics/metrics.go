@@ -56,6 +56,16 @@ func (c MsgClass) String() string {
 	return fmt.Sprintf("msgclass(%d)", int(c))
 }
 
+// Classes lists every message class, for exporters that emit one series per
+// class.
+func Classes() []MsgClass {
+	out := make([]MsgClass, 0, numMsgClasses-1)
+	for c := MsgClass(1); c < numMsgClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
 // Counter accumulates message and byte counts, overall and per class.
 // The zero value is ready to use. Counter is not safe for concurrent use;
 // Recorder provides locking.
@@ -165,6 +175,15 @@ func (h *LoadHistogram) Merge(other *LoadHistogram) {
 	for sec, n := range other.buckets {
 		h.buckets[sec] += n
 	}
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *LoadHistogram) Clone() *LoadHistogram {
+	out := NewLoadHistogram()
+	for sec, n := range h.buckets {
+		out.buckets[sec] = n
+	}
+	return out
 }
 
 // StateTracker integrates a server's consistency-state size (bytes) over
@@ -327,15 +346,22 @@ func (r *Recorder) Totals() Counter {
 	return r.totals
 }
 
-// Server returns a snapshot view of the named server's stats and whether the
-// server has been observed. The returned pointer remains owned by the
-// recorder; callers must not mutate it and should only read after the
-// workload has finished.
+// Server returns a deep-copied snapshot of the named server's stats and
+// whether the server has been observed. The copy is safe to read while the
+// recorder keeps accumulating on other goroutines — live endpoints scrape
+// it concurrently with the protocol.
 func (r *Recorder) Server(name string) (*ServerStats, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ss, ok := r.perServer[name]
-	return ss, ok
+	if !ok {
+		return nil, false
+	}
+	return &ServerStats{
+		Counter: ss.Counter,
+		Load:    ss.Load.Clone(),
+		State:   ss.State,
+	}, true
 }
 
 // Servers returns the names of all observed servers, sorted by descending

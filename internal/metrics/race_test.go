@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderConcurrentSnapshot hammers a Recorder from writer goroutines
+// while reader goroutines snapshot it, so `go test -race` proves the
+// snapshotting really is race-free: Server() must deep-copy (the scraper
+// iterates the load histogram while connection goroutines keep observing).
+func TestRecorderConcurrentSnapshot(t *testing.T) {
+	rec := NewRecorder()
+	base := time.Unix(1000, 0)
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 500
+	)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				at := base.Add(time.Duration(i) * 10 * time.Millisecond)
+				rec.Message("srv-a", MsgInvalidate, 64, at)
+				rec.Message("srv-b", MsgObjLease, 256, at)
+				rec.Write(time.Duration(i) * time.Microsecond)
+				rec.Read(i%7 == 0)
+				rec.SetState("srv-a", at, int64(i))
+				rec.AdjustState("srv-b", at, 8)
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				_ = rec.Totals()
+				if ss, ok := rec.Server("srv-a"); ok {
+					// Walk the snapshot's histogram: this is the access that
+					// would race if Server returned the live struct.
+					_ = ss.Load.Peak()
+					_, _ = ss.Load.Cumulative()
+					_ = ss.Counter.Messages
+					_ = ss.State.Current()
+				}
+				_ = rec.Servers()
+				_, _, _ = rec.WriteStats()
+				_, _ = rec.ReadStats()
+				_ = rec.StaleRate()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	totals := rec.Totals()
+	wantMsgs := int64(writers * rounds * 2)
+	if totals.Messages != wantMsgs {
+		t.Errorf("Totals().Messages = %d, want %d", totals.Messages, wantMsgs)
+	}
+	writes, _, _ := rec.WriteStats()
+	if writes != int64(writers*rounds) {
+		t.Errorf("writes = %d, want %d", writes, writers*rounds)
+	}
+	ss, ok := rec.Server("srv-a")
+	if !ok || ss.Counter.Messages != int64(writers*rounds) {
+		t.Errorf("Server(srv-a).Counter.Messages = %v (ok=%v), want %d", ss, ok, writers*rounds)
+	}
+}
+
+// TestRecorderSnapshotIsolation verifies a Server() snapshot does not see
+// mutations made after it was taken.
+func TestRecorderSnapshotIsolation(t *testing.T) {
+	rec := NewRecorder()
+	at := time.Unix(2000, 0)
+	rec.Message("s", MsgInvalidate, 10, at)
+	snap, ok := rec.Server("s")
+	if !ok {
+		t.Fatal("Server(s) not found")
+	}
+	rec.Message("s", MsgInvalidate, 10, at.Add(time.Second))
+	rec.SetState("s", at.Add(time.Second), 999)
+	if snap.Counter.Messages != 1 {
+		t.Errorf("snapshot Counter.Messages = %d, want 1", snap.Counter.Messages)
+	}
+	if snap.Load.BusySeconds() != 1 {
+		t.Errorf("snapshot Load.BusySeconds = %d, want 1", snap.Load.BusySeconds())
+	}
+	if snap.State.Current() == 999 {
+		t.Error("snapshot State sees post-snapshot mutation")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// EventType discriminates protocol events. The taxonomy covers every
+// state transition an operator needs to follow the consistency protocol
+// live: lease grants and expirations, the invalidate/ack round of a write,
+// the reconnection protocol, and reachability transitions.
+type EventType uint8
+
+// Protocol event types.
+const (
+	// EvObjLeaseGrant: an object lease was granted or renewed.
+	EvObjLeaseGrant EventType = iota + 1
+	// EvVolLeaseGrant: a volume lease was granted or renewed.
+	EvVolLeaseGrant
+	// EvLeaseExpire: a sweep dropped expired lease records (N = how many).
+	EvLeaseExpire
+	// EvInvalSent: an INVALIDATE was pushed to a client (server/proxy side).
+	EvInvalSent
+	// EvInvalRecv: an INVALIDATE arrived (client side), before the ack.
+	EvInvalRecv
+	// EvInvalAcked: an ACK_INVALIDATE resolved a pending invalidation.
+	EvInvalAcked
+	// EvWriteBlocked: a write began waiting for acknowledgments (N = waiters).
+	EvWriteBlocked
+	// EvWriteUnblocked: a write finished its ack round (Dur = wait,
+	// N = clients that never acked).
+	EvWriteUnblocked
+	// EvSlowOp: an operation exceeded the configured slow threshold (Dur).
+	EvSlowOp
+	// EvEpochBump: a volume epoch advanced (crash recovery).
+	EvEpochBump
+	// EvReconnect: the MUST_RENEW_ALL reconnection protocol ran.
+	EvReconnect
+	// EvUnreachable: a client transitioned into the Unreachable set.
+	EvUnreachable
+	// EvConnect: a client connection was admitted.
+	EvConnect
+	// EvDisconnect: a client connection ended.
+	EvDisconnect
+	// EvRedial: a client transparently re-established its connection.
+	EvRedial
+	// EvMsgSent / EvMsgRecv: one wire message crossed an observed
+	// transport (Msg = kind). Emitted by transport.ObserveNetwork.
+	EvMsgSent
+	EvMsgRecv
+	numEventTypes
+)
+
+var eventNames = [...]string{
+	EvObjLeaseGrant:  "obj-lease-grant",
+	EvVolLeaseGrant:  "vol-lease-grant",
+	EvLeaseExpire:    "lease-expire",
+	EvInvalSent:      "inval-sent",
+	EvInvalRecv:      "inval-recv",
+	EvInvalAcked:     "inval-acked",
+	EvWriteBlocked:   "write-blocked",
+	EvWriteUnblocked: "write-unblocked",
+	EvSlowOp:         "slow-op",
+	EvEpochBump:      "epoch-bump",
+	EvReconnect:      "reconnect",
+	EvUnreachable:    "unreachable",
+	EvConnect:        "connect",
+	EvDisconnect:     "disconnect",
+	EvRedial:         "redial",
+	EvMsgSent:        "msg-sent",
+	EvMsgRecv:        "msg-recv",
+}
+
+// String names the event type.
+func (t EventType) String() string {
+	if t > 0 && int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// Event is one protocol event. It is a plain value — no pointers beyond the
+// id strings — so constructing one on a hot path costs no allocation; a
+// disabled tracer discards it before it escapes.
+type Event struct {
+	Type EventType
+	At   time.Time
+	// Node names the emitting component (server, proxy, or client id).
+	Node string
+	// Client is the peer the event concerns, when any.
+	Client core.ClientID
+	Object core.ObjectID
+	Volume core.VolumeID
+	Epoch  core.Epoch
+	// Msg is the wire kind for EvMsgSent/EvMsgRecv.
+	Msg wire.Kind
+	// N carries a count payload (waiters, expired leases, unacked clients).
+	N int
+	// Dur carries a duration payload (ack wait, slow-op latency).
+	Dur time.Duration
+}
+
+// String renders a compact single-line form for logs and test failures.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s", e.Node, e.Type)
+	if e.Client != "" {
+		s += " client=" + string(e.Client)
+	}
+	if e.Object != "" {
+		s += " obj=" + string(e.Object)
+	}
+	if e.Volume != "" {
+		s += " vol=" + string(e.Volume)
+	}
+	if e.Msg != 0 {
+		s += " msg=" + e.Msg.String()
+	}
+	if e.N != 0 {
+		s += fmt.Sprintf(" n=%d", e.N)
+	}
+	if e.Dur != 0 {
+		s += fmt.Sprintf(" dur=%v", e.Dur)
+	}
+	return s
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the debug mux:
+//
+//	/metrics       — Prometheus text exposition
+//	/debug/vars    — expvar-style JSON
+//	/debug/pprof/  — the standard runtime profiles
+//	/debug/events  — recent protocol events (only when ring != nil)
+//
+// The pprof handlers are wired explicitly so the daemon does not depend on
+// http.DefaultServeMux (which blank-importing net/http/pprof would mutate).
+func Handler(reg *Registry, ring *RingSink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", metricsHandler(reg))
+	mux.HandleFunc("/debug/vars", varsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := "lease debug server\n\n/metrics\n/debug/vars\n/debug/pprof/"
+	if ring != nil {
+		mux.HandleFunc("/debug/events", eventsHandler(ring))
+		index += "\n/debug/events"
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, index)
+	})
+	return mux
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port) and serves the debug mux in the
+// background until Close.
+func Serve(addr string, reg *Registry, ring *RingSink) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(reg, ring), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr reports the bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

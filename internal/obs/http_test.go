@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("lease_test_total").Add(7)
+	reg.Histogram("lease_test_seconds").Observe(5 * time.Millisecond)
+	ring := NewRingSink(16)
+	ring.Observe(Event{Type: EvConnect, Node: "srv", At: time.Now()})
+
+	d, err := Serve("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "lease_test_total 7") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, `"lease_test_total": 7`) {
+		t.Errorf("/debug/vars = %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, body := get("/debug/events"); code != 200 || !strings.Contains(body, "connect") {
+		t.Errorf("/debug/events = %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -88,6 +89,10 @@ func (p *Proxy) serveConn(conn transport.Conn) {
 	}
 	p.conns[pc.id] = pc
 	p.mu.Unlock()
+	if p.om != nil {
+		p.om.conns.Add(1)
+	}
+	p.emit(obs.Event{Type: obs.EvConnect, Client: pc.id})
 	p.logf("downstream %s connected", pc.id)
 
 	defer func() {
@@ -96,6 +101,10 @@ func (p *Proxy) serveConn(conn transport.Conn) {
 			delete(p.conns, pc.id)
 		}
 		p.mu.Unlock()
+		if p.om != nil {
+			p.om.conns.Add(-1)
+		}
+		p.emit(obs.Event{Type: obs.EvDisconnect, Client: pc.id})
 	}()
 
 	for {

@@ -1,0 +1,61 @@
+package proxy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// pxMetrics holds the proxy's pre-resolved registry metrics; nil when the
+// proxy runs without a metrics registry. Hot paths pay one nil check and one
+// atomic op, never a map lookup.
+type pxMetrics struct {
+	invalRounds *obs.Counter
+	invalSent   *obs.Counter
+	unreached   *obs.Counter
+	conns       *obs.Gauge
+}
+
+// initObs resolves counters and registers scrape-time gauges for the
+// downstream consistency table. Called once from New, before any downstream
+// connection is admitted.
+func (p *Proxy) initObs() {
+	reg := p.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	name := func(base string) string {
+		return fmt.Sprintf("%s{proxy=%q}", base, string(p.cfg.ID))
+	}
+	p.om = &pxMetrics{
+		invalRounds: reg.Counter(name("lease_proxy_invalidation_rounds_total")),
+		invalSent:   reg.Counter(name("lease_proxy_invalidations_sent_total")),
+		unreached:   reg.Counter(name("lease_proxy_unreachable_transitions_total")),
+		conns:       reg.Gauge(name("lease_proxy_connections")),
+	}
+	stat := func(f func(core.Stats) float64) func() float64 {
+		return func() float64 { return f(p.Stats()) }
+	}
+	reg.GaugeFunc(name("lease_proxy_object_leases"),
+		stat(func(st core.Stats) float64 { return float64(st.ObjectLeases) }))
+	reg.GaugeFunc(name("lease_proxy_volume_leases"),
+		stat(func(st core.Stats) float64 { return float64(st.VolumeLeases) }))
+	reg.GaugeFunc(name("lease_proxy_unreachable_clients"),
+		stat(func(st core.Stats) float64 { return float64(st.UnreachableClients) }))
+	reg.GaugeFunc(name("lease_proxy_state_bytes"),
+		stat(func(st core.Stats) float64 { return float64(st.StateBytes) }))
+}
+
+// emit sends a protocol event when tracing is live; Node and At are stamped
+// after the enabled check so the disabled path never reads the clock.
+func (p *Proxy) emit(e obs.Event) {
+	if !p.cfg.Obs.Tracing() {
+		return
+	}
+	e.Node = string(p.cfg.ID)
+	if e.At.IsZero() {
+		e.At = p.cfg.Clock.Now()
+	}
+	p.cfg.Obs.Emit(e)
+}

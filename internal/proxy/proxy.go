@@ -39,6 +39,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -74,6 +75,10 @@ type Config struct {
 	StartupFence time.Duration
 	// Clock defaults to the wall clock.
 	Clock clock.Clock
+	// Obs, when non-nil, receives protocol events and live metrics for both
+	// of the proxy's roles (it is shared with the embedded upstream client).
+	// A nil Obs costs the hot paths a single nil check.
+	Obs *obs.Observer
 	// Logf, when non-nil, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +108,9 @@ type Proxy struct {
 	known map[core.ObjectID]bool
 	conns map[core.ClientID]*pconn
 	acks  map[ackKey]chan struct{}
+
+	// om holds pre-resolved observability metrics; nil when not wired.
+	om *pxMetrics
 
 	closed  chan struct{}
 	closeMu sync.Once
@@ -155,12 +163,15 @@ func New(cfg Config) (*Proxy, error) {
 		fence:  cfg.Clock.Now().Add(cfg.StartupFence),
 	}
 
+	p.initObs()
+
 	upCfg := client.Config{
 		ID:           cfg.ID,
 		Clock:        cfg.Clock,
 		Skew:         cfg.Skew,
 		Redial:       true,
 		OnInvalidate: p.onUpstreamInvalidate,
+		Obs:          cfg.Obs,
 		Logf:         cfg.Logf,
 	}
 	up, err := client.Dial(cfg.Net, cfg.Upstream, upCfg)
@@ -239,6 +250,7 @@ func (p *Proxy) onUpstreamInvalidate(objects []core.ObjectID) {
 // stale so the next downstream request refetches from upstream.
 func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 	now := p.cfg.Clock.Now()
+	began := now
 	p.mu.Lock()
 	if !p.known[oid] {
 		p.mu.Unlock()
@@ -266,12 +278,19 @@ func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 	}
 	p.mu.Unlock()
 
+	if p.om != nil {
+		p.om.invalRounds.Inc()
+	}
 	for i, pc := range targets {
 		if pc == nil {
 			p.logf("invalidate %s: client %s not connected; waiting out its sub-lease", oid, waiters[i].client)
 			continue
 		}
 		pc.sendInvalidate(oid)
+		if p.om != nil {
+			p.om.invalSent.Inc()
+		}
+		p.emit(obs.Event{Type: obs.EvInvalSent, Client: pc.id, Object: oid})
 	}
 
 	deadline := now.Add(p.cfg.MsgTimeout)
@@ -319,4 +338,13 @@ func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 		p.logf("invalidate %s: downstream %s unreachable", oid, c)
 	}
 	p.mu.Unlock()
+	if p.om != nil {
+		p.om.unreached.Add(int64(len(unacked)))
+	}
+	if len(waiters) > 0 {
+		p.emit(obs.Event{Type: obs.EvWriteUnblocked, Object: oid, N: len(unacked), Dur: now.Sub(began), At: now})
+	}
+	for _, c := range unacked {
+		p.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid, At: now})
+	}
 }

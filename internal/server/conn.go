@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -83,6 +84,10 @@ func (s *Server) serveConn(conn transport.Conn) {
 	}
 	s.conns[cc.id] = cc
 	s.mu.Unlock()
+	if s.om != nil {
+		s.om.conns.Add(1)
+	}
+	s.emit(obs.Event{Type: obs.EvConnect, Client: cc.id})
 	s.logf("client %s connected from %s", cc.id, conn.RemoteAddr())
 
 	defer func() {
@@ -91,6 +96,10 @@ func (s *Server) serveConn(conn transport.Conn) {
 			delete(s.conns, cc.id)
 		}
 		s.mu.Unlock()
+		if s.om != nil {
+			s.om.conns.Add(-1)
+		}
+		s.emit(obs.Event{Type: obs.EvDisconnect, Client: cc.id})
 		s.logf("client %s disconnected", cc.id)
 	}()
 
@@ -154,6 +163,10 @@ func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
 	if err != nil {
 		return s.sendErr(cc, req.Seq, err)
 	}
+	if s.om != nil {
+		s.om.objGrants.Inc()
+	}
+	s.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: cc.id, Object: g.Object})
 	reply := wire.ObjLease{
 		Seq:     req.Seq,
 		Object:  g.Object,
@@ -202,16 +215,25 @@ func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
 	}
 	switch g.Status {
 	case core.VolumeGranted:
+		if s.om != nil {
+			s.om.volGrants.Inc()
+		}
+		s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume, Epoch: g.Epoch})
 		return s.send(cc, metrics.MsgVolLease, wire.VolLease{
 			Seq: req.Seq, Volume: g.Volume, Expire: g.Expire, Epoch: g.Epoch,
 		})
 	case core.VolumePendingInvalidations:
 		cc.setRenewal(req.Seq, &renewal{volume: req.Volume, stage: stageAwaitPendingAck})
+		s.emit(obs.Event{Type: obs.EvInvalSent, Client: cc.id, Volume: req.Volume, N: len(g.Invalidate)})
 		return s.send(cc, metrics.MsgInvalRenew, wire.InvalRenew{
 			Seq: req.Seq, Volume: req.Volume, Invalidate: g.Invalidate,
 		})
 	case core.VolumeNeedsRenewAll:
 		cc.setRenewal(req.Seq, &renewal{volume: req.Volume, stage: stageAwaitHeld})
+		if s.om != nil {
+			s.om.reconnects.Inc()
+		}
+		s.emit(obs.Event{Type: obs.EvReconnect, Client: cc.id, Volume: req.Volume, Epoch: g.Epoch})
 		return s.send(cc, metrics.MsgMustRenewAll, wire.MustRenewAll{
 			Seq: req.Seq, Volume: req.Volume, Epoch: g.Epoch,
 		})
@@ -286,6 +308,10 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 	if err != nil {
 		return s.sendErr(cc, ack.Seq, err)
 	}
+	if s.om != nil {
+		s.om.volGrants.Inc()
+	}
+	s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume, Epoch: g.Epoch})
 	return s.send(cc, metrics.MsgVolLease, wire.VolLease{
 		Seq: ack.Seq, Volume: g.Volume, Expire: g.Expire, Epoch: g.Epoch,
 	})
@@ -308,13 +334,21 @@ func (s *Server) pendingAcksLocked(client core.ClientID) []chan struct{} {
 func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID) {
 	now := s.cfg.Clock.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, oid := range objects {
 		_ = s.table.AckWriteInvalidate(now, client, oid)
 		key := ackKey{client: client, object: oid}
 		if ch, ok := s.acks[key]; ok {
 			close(ch)
 			delete(s.acks, key)
+		}
+	}
+	s.mu.Unlock()
+	if s.om != nil {
+		s.om.invalAcked.Add(int64(len(objects)))
+	}
+	if s.cfg.Obs.Tracing() {
+		for _, oid := range objects {
+			s.emit(obs.Event{Type: obs.EvInvalAcked, Client: client, Object: oid, At: now})
 		}
 	}
 }

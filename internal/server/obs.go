@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// srvMetrics holds the server's pre-resolved registry metrics so hot paths
+// pay one pointer nil-check and one atomic op, never a map lookup. nil when
+// the server runs without a metrics registry.
+type srvMetrics struct {
+	objGrants  *obs.Counter
+	volGrants  *obs.Counter
+	invalSent  *obs.Counter
+	invalAcked *obs.Counter
+	writes     *obs.Counter
+	slowWrites *obs.Counter
+	reconnects *obs.Counter
+	unreached  *obs.Counter
+	expired    *obs.Counter
+	epochBumps *obs.Counter
+	conns      *obs.Gauge
+	ackWait    *metrics.LatencyHistogram
+}
+
+// initObs resolves counters and registers scrape-time gauges for the live
+// consistency-table state. Called once from New, before any connection is
+// admitted.
+func (s *Server) initObs() {
+	reg := s.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	n := s.cfg.Name
+	name := func(base string) string { return fmt.Sprintf("%s{server=%q}", base, n) }
+	s.om = &srvMetrics{
+		objGrants:  reg.Counter(name("lease_obj_grants_total")),
+		volGrants:  reg.Counter(name("lease_vol_grants_total")),
+		invalSent:  reg.Counter(name("lease_invalidations_sent_total")),
+		invalAcked: reg.Counter(name("lease_invalidation_acks_total")),
+		writes:     reg.Counter(name("lease_server_writes_total")),
+		slowWrites: reg.Counter(name("lease_slow_writes_total")),
+		reconnects: reg.Counter(name("lease_reconnects_total")),
+		unreached:  reg.Counter(name("lease_unreachable_transitions_total")),
+		expired:    reg.Counter(name("lease_swept_leases_total")),
+		epochBumps: reg.Counter(name("lease_epoch_bumps_total")),
+		conns:      reg.Gauge(name("lease_server_connections")),
+		ackWait:    reg.Histogram(name("lease_write_ack_wait_seconds")),
+	}
+	// Live table state, sampled at scrape time. One Stats() snapshot per
+	// gauge keeps the callbacks independent; the table lock makes each
+	// snapshot consistent.
+	stat := func(f func(core.Stats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	reg.GaugeFunc(name("lease_server_object_leases"),
+		stat(func(st core.Stats) float64 { return float64(st.ObjectLeases) }))
+	reg.GaugeFunc(name("lease_server_volume_leases"),
+		stat(func(st core.Stats) float64 { return float64(st.VolumeLeases) }))
+	reg.GaugeFunc(name("lease_server_pending_invalidations"),
+		stat(func(st core.Stats) float64 { return float64(st.PendingInvalidation) }))
+	reg.GaugeFunc(name("lease_server_inactive_clients"),
+		stat(func(st core.Stats) float64 { return float64(st.InactiveClients) }))
+	reg.GaugeFunc(name("lease_server_unreachable_clients"),
+		stat(func(st core.Stats) float64 { return float64(st.UnreachableClients) }))
+	reg.GaugeFunc(name("lease_server_state_bytes"),
+		stat(func(st core.Stats) float64 { return float64(st.StateBytes) }))
+}
+
+// registerVolumeObs exposes one volume's lease and pending-queue depths.
+// Called from AddVolume after the volume exists.
+func (s *Server) registerVolumeObs(vid core.VolumeID) {
+	reg := s.cfg.Obs.Reg()
+	if reg == nil {
+		return
+	}
+	labels := fmt.Sprintf("{server=%q,volume=%q}", s.cfg.Name, string(vid))
+	vstat := func(f func(core.Stats) float64) func() float64 {
+		return func() float64 {
+			st, err := s.VolumeStats(vid)
+			if err != nil {
+				return 0
+			}
+			return f(st)
+		}
+	}
+	reg.GaugeFunc("lease_volume_object_leases"+labels,
+		vstat(func(st core.Stats) float64 { return float64(st.ObjectLeases) }))
+	reg.GaugeFunc("lease_volume_volume_leases"+labels,
+		vstat(func(st core.Stats) float64 { return float64(st.VolumeLeases) }))
+	reg.GaugeFunc("lease_volume_pending_invalidations"+labels,
+		vstat(func(st core.Stats) float64 { return float64(st.PendingInvalidation) }))
+	reg.GaugeFunc("lease_volume_unreachable_clients"+labels,
+		vstat(func(st core.Stats) float64 { return float64(st.UnreachableClients) }))
+}
+
+// emit sends a protocol event when tracing is live. Callers leave Node and
+// At zero; they are stamped here, after the enabled check, so the disabled
+// path never reads the clock. The event argument itself is a stack value —
+// the disabled cost is a struct copy and one nil check (see
+// obs.BenchmarkEmitDisabled).
+func (s *Server) emit(e obs.Event) {
+	if !s.cfg.Obs.Tracing() {
+		return
+	}
+	e.Node = s.cfg.Name
+	if e.At.IsZero() {
+		e.At = s.cfg.Clock.Now()
+	}
+	s.cfg.Obs.Emit(e)
+}

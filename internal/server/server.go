@@ -19,6 +19,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -71,6 +72,13 @@ type Config struct {
 	StateDir string
 	// Recorder, when non-nil, receives message accounting.
 	Recorder *metrics.Recorder
+	// Obs, when non-nil, receives protocol events and live metrics (see
+	// internal/obs). A nil Obs costs the hot paths a single nil check.
+	Obs *obs.Observer
+	// SlowWriteThreshold, when positive, logs and emits an EvSlowOp event
+	// for every write whose ack-collection wait reaches it — the paper's
+	// min(t, t_v) bound is the natural setting to watch for.
+	SlowWriteThreshold time.Duration
 	// Logf, when non-nil, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -120,6 +128,9 @@ type Server struct {
 	// volumes resume one past them.
 	prevEpochs map[core.VolumeID]core.Epoch
 
+	// om holds pre-resolved observability metrics; nil when not wired.
+	om *srvMetrics
+
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
@@ -160,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.initObs()
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.sweepLoop()
@@ -205,6 +217,7 @@ func (s *Server) AddVolume(vid core.VolumeID) error {
 	if err != nil {
 		return err
 	}
+	s.registerVolumeObs(vid)
 	return s.persistEpochs()
 }
 
@@ -240,7 +253,12 @@ func (s *Server) Recover() {
 	}
 	s.table.Recover(s.cfg.Clock.Now())
 	fence := s.table.WriteFence()
+	volumes := len(s.table.Volumes())
 	s.mu.Unlock()
+	if s.om != nil {
+		s.om.epochBumps.Add(int64(volumes))
+	}
+	s.emit(obs.Event{Type: obs.EvEpochBump, N: volumes})
 	s.logf("recovered: epochs bumped, writes fenced until %v", fence)
 	if err := s.persistEpochs(); err != nil {
 		s.logf("persist after recover: %v", err)
@@ -284,8 +302,14 @@ func (s *Server) sweepLoop() {
 			return
 		case <-s.cfg.Clock.After(s.cfg.SweepInterval):
 			s.mu.Lock()
-			s.table.Sweep(s.cfg.Clock.Now())
+			swept := s.table.Sweep(s.cfg.Clock.Now())
 			s.mu.Unlock()
+			if swept > 0 {
+				if s.om != nil {
+					s.om.expired.Add(int64(swept))
+				}
+				s.emit(obs.Event{Type: obs.EvLeaseExpire, N: swept})
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -50,6 +51,13 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 	}
 	s.mu.Unlock()
 
+	if s.om != nil {
+		s.om.writes.Inc()
+	}
+	if len(waiters) > 0 {
+		s.emit(obs.Event{Type: obs.EvWriteBlocked, Object: oid, N: len(waiters), At: start})
+	}
+
 	// Send the invalidations outside the table lock.
 	inval := wire.Invalidate{Objects: []core.ObjectID{oid}}
 	for i, cc := range targets {
@@ -59,7 +67,12 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		}
 		if err := s.send(cc, metrics.MsgInvalidate, inval); err != nil {
 			s.logf("write %s: invalidate to %s failed: %v", oid, cc.id, err)
+			continue
 		}
+		if s.om != nil {
+			s.om.invalSent.Inc()
+		}
+		s.emit(obs.Event{Type: obs.EvInvalSent, Client: cc.id, Object: oid})
 	}
 
 	// Figure 3: T_f = min(volume.expire, object.expire), floored at
@@ -122,6 +135,24 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 	waited := now.Sub(start)
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Write(waited)
+	}
+	if s.om != nil {
+		s.om.ackWait.Observe(waited)
+		s.om.unreached.Add(int64(len(unacked)))
+	}
+	if len(waiters) > 0 {
+		s.emit(obs.Event{Type: obs.EvWriteUnblocked, Object: oid, N: len(unacked), Dur: waited, At: now})
+	}
+	for _, c := range unacked {
+		s.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid, At: now})
+	}
+	if t := s.cfg.SlowWriteThreshold; t > 0 && waited >= t {
+		if s.om != nil {
+			s.om.slowWrites.Inc()
+		}
+		s.emit(obs.Event{Type: obs.EvSlowOp, Object: oid, N: len(waiters), Dur: waited, At: now})
+		s.logf("slow write %s v%d: waited %v for %d invalidation(s) (threshold %v)",
+			oid, version, waited, len(waiters), t)
 	}
 	if len(unacked) > 0 {
 		s.logf("write %s v%d: %d client(s) unreachable after %v", oid, version, len(unacked), waited)

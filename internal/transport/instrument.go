@@ -1,0 +1,92 @@
+package transport
+
+import "repro/internal/wire"
+
+// MsgObserver receives one callback per message crossing an observed
+// connection: sent reports direction, k the wire kind. Called inline on
+// Send/Recv paths, so implementations must be fast, non-blocking, and safe
+// for concurrent use.
+type MsgObserver func(sent bool, k wire.Kind)
+
+// ObserveNetwork wraps a Network so every connection it creates (dialed or
+// accepted) reports its traffic to f. The observability layer plugs a
+// tracer or per-kind counters in here without the protocol packages
+// knowing; a nil f returns n unchanged.
+func ObserveNetwork(n Network, f MsgObserver) Network {
+	if f == nil {
+		return n
+	}
+	return &observedNetwork{inner: n, f: f}
+}
+
+type observedNetwork struct {
+	inner Network
+	f     MsgObserver
+}
+
+func (n *observedNetwork) Listen(addr string) (Listener, error) {
+	l, err := n.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &observedListener{inner: l, f: n.f}, nil
+}
+
+func (n *observedNetwork) Dial(addr string) (Conn, error) {
+	c, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &observedConn{Conn: c, f: n.f}, nil
+}
+
+// DialFrom forwards identity-preserving dials (see Memory.DialFrom) so an
+// observed in-memory network still honors partitions by host name.
+func (n *observedNetwork) DialFrom(localHost, addr string) (Conn, error) {
+	fd, ok := n.inner.(FromDialer)
+	if !ok {
+		return n.Dial(addr)
+	}
+	c, err := fd.DialFrom(localHost, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &observedConn{Conn: c, f: n.f}, nil
+}
+
+type observedListener struct {
+	inner Listener
+	f     MsgObserver
+}
+
+func (l *observedListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &observedConn{Conn: c, f: l.f}, nil
+}
+
+func (l *observedListener) Close() error { return l.inner.Close() }
+func (l *observedListener) Addr() string { return l.inner.Addr() }
+
+type observedConn struct {
+	Conn
+	f MsgObserver
+}
+
+func (c *observedConn) Send(m wire.Message) error {
+	err := c.Conn.Send(m)
+	if err == nil {
+		c.f(true, m.Kind())
+	}
+	return err
+}
+
+func (c *observedConn) Recv() (wire.Message, error) {
+	m, err := c.Conn.Recv()
+	if err == nil {
+		c.f(false, m.Kind())
+	}
+	return m, err
+}

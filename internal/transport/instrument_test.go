@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// obsCount is a concurrency-safe per-kind/per-direction tally for tests.
+type obsCount struct {
+	mu   sync.Mutex
+	sent map[wire.Kind]int
+	recv map[wire.Kind]int
+}
+
+func newObsCount() *obsCount {
+	return &obsCount{sent: make(map[wire.Kind]int), recv: make(map[wire.Kind]int)}
+}
+
+func (o *obsCount) observe(sent bool, k wire.Kind) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if sent {
+		o.sent[k]++
+	} else {
+		o.recv[k]++
+	}
+}
+
+func TestObserveNetworkCountsBothDirections(t *testing.T) {
+	counts := newObsCount()
+	n := ObserveNetwork(NewMemory(), counts.observe)
+
+	cli, srv, cleanup := pair(t, n, "srv")
+	defer cleanup()
+
+	// Client-to-server and server-to-client traffic of distinct kinds.
+	exchange(t, cli, srv, wire.Hello{Client: "c1"})
+	exchange(t, cli, srv, wire.ReqObjLease{Seq: 1, Object: "o1"})
+	exchange(t, srv, cli, wire.Invalidate{Objects: []core.ObjectID{"o1"}})
+
+	counts.mu.Lock()
+	defer counts.mu.Unlock()
+	// Each message is observed twice: once on the sender, once on the
+	// receiver — both ends of a Memory pair are observed conns.
+	for _, tc := range []struct {
+		kind wire.Kind
+		sent int
+		recv int
+	}{
+		{wire.KindHello, 1, 1},
+		{wire.KindReqObjLease, 1, 1},
+		{wire.KindInvalidate, 1, 1},
+	} {
+		if got := counts.sent[tc.kind]; got != tc.sent {
+			t.Errorf("sent[%s] = %d, want %d", tc.kind, got, tc.sent)
+		}
+		if got := counts.recv[tc.kind]; got != tc.recv {
+			t.Errorf("recv[%s] = %d, want %d", tc.kind, got, tc.recv)
+		}
+	}
+}
+
+func TestObserveNetworkNilObserverIsIdentity(t *testing.T) {
+	mem := NewMemory()
+	if got := ObserveNetwork(mem, nil); got != Network(mem) {
+		t.Fatalf("ObserveNetwork(n, nil) = %T, want the original network", got)
+	}
+}
+
+func TestObserveNetworkForwardsDialFrom(t *testing.T) {
+	mem := NewMemory()
+	counts := newObsCount()
+	n := ObserveNetwork(mem, counts.observe)
+
+	fd, ok := n.(FromDialer)
+	if !ok {
+		t.Fatal("observed Memory network must still expose DialFrom")
+	}
+
+	l, err := n.Listen("srv")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+
+	// A partition between the declared identity and the server must be
+	// honored through the wrapper: identity-preserving dials are the whole
+	// point of DialFrom.
+	mem.Partition("alice", "srv")
+	if _, err := fd.DialFrom("alice", "srv"); err == nil {
+		t.Fatal("DialFrom through a partition should fail")
+	}
+
+	cli, err := fd.DialFrom("bob", "srv")
+	if err != nil {
+		t.Fatalf("DialFrom: %v", err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	exchange(t, cli, srv, wire.Hello{Client: "bob"})
+	counts.mu.Lock()
+	defer counts.mu.Unlock()
+	if counts.sent[wire.KindHello] != 1 || counts.recv[wire.KindHello] != 1 {
+		t.Errorf("observer missed DialFrom traffic: sent=%d recv=%d",
+			counts.sent[wire.KindHello], counts.recv[wire.KindHello])
+	}
+}

@@ -58,6 +58,12 @@ type Network interface {
 	Dial(addr string) (Conn, error)
 }
 
+// FromDialer is implemented by networks that can dial with an explicit
+// local identity (Memory, and wrappers that preserve the capability).
+type FromDialer interface {
+	DialFrom(localHost, addr string) (Conn, error)
+}
+
 // --- TCP ---
 
 // TCP is the production Network backed by the operating system's TCP stack.

@@ -46,6 +46,10 @@ const (
 	kindEnd // sentinel
 )
 
+// NumKinds bounds the valid Kind values (exclusive upper bound); exporters
+// use it to size per-kind lookup tables.
+const NumKinds = int(kindEnd)
+
 var kindNames = [...]string{
 	KindHello:          "Hello",
 	KindReqObjLease:    "ReqObjLease",
