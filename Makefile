@@ -31,6 +31,11 @@ figures:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark snapshot: ns/op and allocs/op for every
+# benchmark, as JSON (format documented in EXPERIMENTS.md).
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+
 fuzz:
 	$(GO) test ./internal/wire -run Fuzz -fuzz=FuzzDecode -fuzztime=30s
 

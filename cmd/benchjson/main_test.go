@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseBenchStandardLine(t *testing.T) {
+	r, ok := parseBench("repro/internal/audit",
+		"BenchmarkAuditObserve  \t13769095\t        86.60 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkAuditObserve" || r.Iterations != 13769095 ||
+		r.NsPerOp != 86.60 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Extra != nil {
+		t.Errorf("unexpected extra metrics: %v", r.Extra)
+	}
+}
+
+func TestParseBenchCustomMetrics(t *testing.T) {
+	r, ok := parseBench("repro",
+		"BenchmarkTable1/PollEachRead \t     198\t   6264065 ns/op\t  82583528 bytes\t     40474 msgs\t         0 stale-rate\t 1806905 B/op\t    1173 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.NsPerOp != 6264065 || r.BytesPerOp != 1806905 || r.AllocsPerOp != 1173 {
+		t.Errorf("parsed %+v", r)
+	}
+	if r.Extra["msgs"] != 40474 || r.Extra["bytes"] != 82583528 {
+		t.Errorf("extra = %v", r.Extra)
+	}
+}
+
+func TestParseBenchRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t2.777s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseBench("p", line); ok {
+			t.Errorf("line %q wrongly parsed as a benchmark", line)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -47,6 +48,7 @@ type options struct {
 	volLease   time.Duration
 	useTCP     bool
 	debugAddr  string
+	audit      bool
 }
 
 func parseFlags(args []string) (options, error) {
@@ -62,6 +64,7 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.volLease, "volume-lease", 5*time.Second, "volume lease (self-contained mode)")
 	fs.BoolVar(&o.useTCP, "tcp", false, "self-contained mode: use loopback TCP instead of the in-memory transport")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof during the run (empty = off)")
+	fs.BoolVar(&o.audit, "audit", false, "self-contained mode: run the online consistency auditor and fail on any invariant violation")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -70,6 +73,11 @@ func parseFlags(args []string) (options, error) {
 	}
 	if o.writeRatio < 0 || o.writeRatio > 1 {
 		return o, fmt.Errorf("write-ratio must be in [0,1]")
+	}
+	if o.audit && o.addr != "" {
+		// Auditing an external server would only see the client half of the
+		// event stream and flag spurious violations.
+		return o, fmt.Errorf("-audit requires the self-contained server (omit -addr)")
 	}
 	return o, nil
 }
@@ -96,6 +104,7 @@ type result struct {
 	localReads            int64
 	serverReads           int64
 	invalidations         int64
+	aud                   *audit.Auditor // nil unless -audit
 }
 
 // execute runs the load.
@@ -107,22 +116,37 @@ func execute(o options) (*result, error) {
 
 	// Optional live observability: a registry scraped over HTTP while the
 	// benchmark runs, fed by the self-contained server (when present) and by
-	// the clients' cache counters.
+	// the clients' cache counters. With -audit the consistency auditor taps
+	// the same event stream and the run fails on any invariant violation.
 	var (
 		observer *obs.Observer
 		rec      *metrics.Recorder
+		aud      *audit.Auditor
 	)
-	if o.debugAddr != "" {
+	if o.debugAddr != "" || o.audit {
 		reg := obs.NewRegistry()
 		observer = &obs.Observer{Metrics: reg}
 		rec = metrics.NewRecorder()
 		obs.RegisterRecorder(reg, rec)
-		dbg, err := obs.Serve(o.debugAddr, reg, nil)
-		if err != nil {
-			return nil, err
+		var routes []obs.Route
+		if o.audit {
+			aud = audit.New(audit.LiveConfig(core.Config{
+				ObjectLease: o.objLease,
+				VolumeLease: o.volLease,
+				Mode:        core.ModeEager,
+			}, false))
+			aud.Register(reg)
+			observer.Tracer = obs.NewTracer(aud)
+			routes = append(routes, obs.Route{Path: "/debug/audit", Handler: aud})
 		}
-		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "leasebench: debug server on http://%s\n", dbg.Addr())
+		if o.debugAddr != "" {
+			dbg, err := obs.Serve(o.debugAddr, reg, nil, routes...)
+			if err != nil {
+				return nil, err
+			}
+			defer dbg.Close()
+			fmt.Fprintf(os.Stderr, "leasebench: debug server on http://%s\n", dbg.Addr())
+		}
 	}
 
 	var srv *server.Server
@@ -239,6 +263,7 @@ func execute(o options) (*result, error) {
 		st := srv.Stats()
 		res.serverStats = &st
 	}
+	res.aud = aud
 	return res, nil
 }
 
@@ -265,6 +290,15 @@ func (r *result) report(out *os.File, o options) error {
 	if r.serverStats != nil {
 		fmt.Fprintf(out, "server state: %d object leases, %d volume leases (%d bytes)\n",
 			r.serverStats.ObjectLeases, r.serverStats.VolumeLeases, r.serverStats.StateBytes)
+	}
+	if r.aud != nil {
+		s := r.aud.Snapshot()
+		fmt.Fprintf(out, "audit: %d events, %d stale reads, max staleness %v (bound %v)\n",
+			s.Events, s.StaleReads, s.MaxStaleness, s.StalenessBound)
+		if err := r.aud.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "audit: all invariants held")
 	}
 	return nil
 }

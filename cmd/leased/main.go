@@ -13,7 +13,13 @@
 //
 // With -debug-addr set, a debug HTTP server exposes /metrics (Prometheus
 // text), /debug/vars (JSON), /debug/pprof/ (runtime profiles) and
-// /debug/events (the last -trace protocol events).
+// /debug/events (the last -trace protocol events, filterable with ?type=
+// and ?since=).
+//
+// -audit attaches the online consistency auditor (internal/audit): every
+// protocol event also feeds a shadow model of the lease state, violations
+// land in the lease_audit_* metrics and the daemon exits non-zero at
+// shutdown if any were recorded. The audit report is served at /debug/audit.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -59,6 +66,7 @@ type options struct {
 	debugAddr  string
 	traceLen   int
 	slowWrite  time.Duration
+	audit      bool
 
 	// net overrides the transport (tests); nil means TCP.
 	net transport.Network
@@ -72,6 +80,7 @@ type instance struct {
 	rec     *metrics.Recorder
 	reg     *obs.Registry
 	ring    *obs.RingSink
+	aud     *audit.Auditor
 	seeded  int
 	mode    core.Mode
 	volLog  string
@@ -120,9 +129,18 @@ func start(opts options) (*instance, error) {
 	// address only controls whether anything is served.
 	in.reg = obs.NewRegistry()
 	observer := &obs.Observer{Metrics: in.reg}
+	var sinks []obs.Sink
 	if opts.traceLen > 0 {
 		in.ring = obs.NewRingSink(opts.traceLen)
-		observer.Tracer = obs.NewTracer(in.ring)
+		sinks = append(sinks, in.ring)
+	}
+	if opts.audit {
+		in.aud = audit.New(audit.LiveConfig(tableCfg, opts.bestEffort))
+		in.aud.Register(in.reg)
+		sinks = append(sinks, in.aud)
+	}
+	if len(sinks) > 0 {
+		observer.Tracer = obs.NewTracer(sinks...)
 	}
 	obs.RegisterRecorder(in.reg, in.rec)
 	netw = transport.ObserveNetwork(netw, obs.WireObserver(observer, opts.volume, time.Now))
@@ -162,7 +180,11 @@ func start(opts options) (*instance, error) {
 	}
 
 	if opts.debugAddr != "" {
-		in.debug, err = obs.Serve(opts.debugAddr, in.reg, in.ring)
+		var routes []obs.Route
+		if in.aud != nil {
+			routes = append(routes, obs.Route{Path: "/debug/audit", Handler: in.aud})
+		}
+		in.debug, err = obs.Serve(opts.debugAddr, in.reg, in.ring, routes...)
 		if err != nil {
 			srv.Close()
 			return nil, err
@@ -189,6 +211,7 @@ func run() error {
 	flag.StringVar(&opts.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/events on this address (empty = off)")
 	flag.IntVar(&opts.traceLen, "trace", 256, "protocol events kept for /debug/events (0 = tracing off)")
 	flag.DurationVar(&opts.slowWrite, "slow-write", 0, "log writes whose invalidation wait reaches this (0 = off)")
+	flag.BoolVar(&opts.audit, "audit", false, "run the online consistency auditor (exports lease_audit_* metrics and /debug/audit)")
 	flag.Parse()
 
 	in, err := start(opts)
@@ -203,6 +226,9 @@ func run() error {
 		endpoints := "/metrics /debug/vars /debug/pprof"
 		if in.ring != nil {
 			endpoints += " /debug/events"
+		}
+		if in.aud != nil {
+			endpoints += " /debug/audit"
 		}
 		log.Printf("leased: debug server on http://%s (%s)", in.debug.Addr(), endpoints)
 	}
@@ -220,6 +246,9 @@ func run() error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("leased: shutting down")
+	if in.aud != nil {
+		return in.aud.Err()
+	}
 	return nil
 }
 

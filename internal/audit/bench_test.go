@@ -1,0 +1,44 @@
+package audit
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// BenchmarkAuditDisabled pins the cost every instrumented sim call site pays
+// when no auditor is attached: one nil check through sim.Env.Emit, zero
+// allocations — the same bar obs.BenchmarkEmitDisabled sets for the live
+// stack.
+func BenchmarkAuditDisabled(b *testing.B) {
+	eng := sim.NewEngine(nil)
+	env := eng.Env()
+	at := time.Now()
+	e := obs.Event{Type: obs.EvCacheRead, Client: "c1", Object: "s/o", Volume: "s", Version: 3, At: at}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.Emit(e)
+	}
+}
+
+// BenchmarkAuditObserve measures the enabled path: one event through the
+// full shadow-model dispatch (a cache read against installed leases).
+func BenchmarkAuditObserve(b *testing.B) {
+	a := New(Config{
+		ObjectLease: 100 * time.Second, VolumeLease: 10 * time.Second,
+		RequireObjectLease: true, RequireVolumeLease: true, CheckStaleness: true,
+	})
+	at := time.Now()
+	a.Observe(obs.Event{Type: obs.EvVolLeaseGrant, Client: "c1", Volume: "v",
+		Expire: at.Add(time.Hour), At: at})
+	a.Observe(obs.Event{Type: obs.EvObjLeaseGrant, Client: "c1", Object: "o",
+		Version: 1, Expire: at.Add(time.Hour), At: at})
+	a.Observe(obs.Event{Type: obs.EvWriteApplied, Object: "o", Volume: "v", Version: 1, At: at})
+	e := obs.Event{Type: obs.EvCacheRead, Client: "c1", Object: "o", Volume: "v", Version: 1, At: at}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Observe(e)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sim/algo"
@@ -104,11 +105,37 @@ func burstify(w Workload) Workload {
 // Run simulates one algorithm over the workload and returns the recorder
 // and the simulation end time for state averaging.
 func Run(w Workload, spec Spec) (*metrics.Recorder, sim.Result) {
-	rec, res, err := sim.Simulate(w.Trace, func(env *sim.Env) sim.Algorithm { return spec.New(env) })
+	rec, res, err := simAudited(w.Trace, func(env *sim.Env) sim.Algorithm { return spec.New(env) })
 	if err != nil {
 		panic(fmt.Sprintf("bench: simulate %s: %v", spec.Name(), err))
 	}
 	return rec, res
+}
+
+// simAudited runs a trace through an algorithm with the consistency auditor
+// attached whenever the algorithm declares an audit profile. Every figure
+// and ablation therefore doubles as an invariant check; a violation means
+// the algorithm (or the auditor's model of it) is broken, so it panics
+// rather than silently producing numbers from an inconsistent run.
+func simAudited(tr trace.Trace, mk func(env *sim.Env) sim.Algorithm) (*metrics.Recorder, sim.Result, error) {
+	rec := metrics.NewRecorder()
+	eng := sim.NewEngine(rec)
+	al := mk(eng.Env())
+	var aud *audit.Auditor
+	if p, ok := al.(audit.Profiled); ok {
+		aud = audit.New(p.AuditConfig())
+		eng.Observe(aud)
+	}
+	res, err := eng.Run(tr, al)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			panic(fmt.Sprintf("bench: %s failed audit: %v", al.Name(), err))
+		}
+	}
+	return rec, res, nil
 }
 
 // Series is one figure line: a label and parallel x/y slices.
@@ -259,7 +286,7 @@ func PeakLoad(w Workload, spec Spec) int {
 
 // simRunGrouped runs the grouped Volume algorithm over the workload.
 func simRunGrouped(w Workload, tv, t float64, groups int) (*metrics.Recorder, sim.Result, error) {
-	return sim.Simulate(w.Trace, func(env *sim.Env) sim.Algorithm {
+	return simAudited(w.Trace, func(env *sim.Env) sim.Algorithm {
 		return algo.NewVolumeGrouped(env, Secs(tv), Secs(t), groups)
 	})
 }

@@ -126,6 +126,12 @@ type Client struct {
 	seq    uint64
 	err    error // sticky transport error
 	closed bool
+	// invalGen counts invalidations per object. An object-lease reply is
+	// installed only if the count is unchanged since the request was sent:
+	// an invalidation can overtake the grant reply in flight, and
+	// installing the grant afterwards would resurrect overwritten data
+	// under a seemingly valid lease.
+	invalGen map[core.ObjectID]uint64
 
 	// renewMu serializes volume renewals and invalidation handling so the
 	// multi-round conversations of Figure 4 do not interleave.
@@ -172,12 +178,13 @@ func NewOnConn(conn transport.Conn, cfg Config) (*Client, error) {
 		return nil, errors.New("client: Config.ID is required")
 	}
 	c := &Client{
-		cfg:  cfg,
-		conn: conn,
-		vols: make(map[core.VolumeID]*volState),
-		objs: make(map[core.ObjectID]*objState),
-		rpcs: make(map[uint64]chan wire.Message),
-		done: make(chan struct{}),
+		cfg:      cfg,
+		conn:     conn,
+		vols:     make(map[core.VolumeID]*volState),
+		objs:     make(map[core.ObjectID]*objState),
+		rpcs:     make(map[uint64]chan wire.Message),
+		invalGen: make(map[core.ObjectID]uint64),
+		done:     make(chan struct{}),
 	}
 	if err := conn.Send(wire.Hello{Client: cfg.ID}); err != nil {
 		conn.Close()
@@ -379,7 +386,9 @@ func (c *Client) send(m wire.Message) error {
 // and lease, propagate to the OnInvalidate hook, then acknowledge (Figure
 // 4, "Client receives object invalidation message").
 func (c *Client) handleInvalidate(inv wire.Invalidate) {
-	c.emit(obs.Event{Type: obs.EvInvalRecv, N: len(inv.Objects)})
+	for _, oid := range inv.Objects {
+		c.emit(obs.Event{Type: obs.EvInvalRecv, Object: oid})
+	}
 	c.dropObjects(inv.Objects)
 	if c.cfg.OnInvalidate != nil {
 		c.cfg.OnInvalidate(inv.Objects)
@@ -389,11 +398,14 @@ func (c *Client) handleInvalidate(inv wire.Invalidate) {
 	}
 }
 
-// dropObjects clears cached data and leases for the given objects.
+// dropObjects clears cached data and leases for the given objects. The
+// invalidation generation is bumped even for objects not cached yet, so an
+// in-flight lease request for one of them discards its (stale) reply.
 func (c *Client) dropObjects(objects []core.ObjectID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, oid := range objects {
+		c.invalGen[oid]++
 		if o, ok := c.objs[oid]; ok {
 			o.data = nil
 			o.hasData = false

@@ -33,6 +33,11 @@ func (c *Client) Read(vid core.VolumeID, oid core.ObjectID) ([]byte, error) {
 			} else {
 				c.localReads++
 			}
+			// Emitted under c.mu so the audit model observes this read
+			// strictly before any invalidation the client acknowledges next
+			// (the ack is what releases a pending write).
+			c.emit(obs.Event{Type: obs.EvCacheRead, Object: oid, Volume: vid,
+				Version: o.version, At: now})
 			c.mu.Unlock()
 			return data, nil
 		}
@@ -127,6 +132,7 @@ func (c *Client) renewObject(vid core.VolumeID, oid core.ObjectID) error {
 	if o, ok := c.objs[oid]; ok && o.hasData {
 		ver = o.version
 	}
+	gen := c.invalGen[oid]
 	c.mu.Unlock()
 
 	seq, err := c.open()
@@ -145,6 +151,14 @@ func (c *Client) renewObject(vid core.VolumeID, oid core.ObjectID) error {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.invalGen[oid] != gen {
+		// An invalidation overtook this grant in flight: the server has
+		// already overwritten (or is overwriting) the version this lease
+		// covers, and we acknowledged the drop. Installing the reply would
+		// serve stale data under a valid-looking lease, so discard it and
+		// let the read path retry with a fresh request.
+		return nil
+	}
 	o, ok := c.objs[oid]
 	if !ok {
 		o = &objState{volume: vid}
@@ -230,6 +244,9 @@ func (c *Client) RenewVolume(vid core.VolumeID) error {
 // applyInvalRenew drops invalidated copies (propagating to the
 // OnInvalidate hook) and installs renewed leases.
 func (c *Client) applyInvalRenew(v wire.InvalRenew) {
+	for _, oid := range v.Invalidate {
+		c.emit(obs.Event{Type: obs.EvInvalRecv, Object: oid, Volume: v.Volume})
+	}
 	c.dropObjects(v.Invalidate)
 	if c.cfg.OnInvalidate != nil && len(v.Invalidate) > 0 {
 		c.cfg.OnInvalidate(v.Invalidate)

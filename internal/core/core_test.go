@@ -431,7 +431,7 @@ func TestSweepRemovesExpiredLeases(t *testing.T) {
 	if s.VolumeLeases != 1 || s.ObjectLeases != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
-	removed := tb.Sweep(at(200))
+	removed, _ := tb.Sweep(at(200))
 	if removed != 2 {
 		t.Errorf("Sweep removed %d records, want 2", removed)
 	}

@@ -191,12 +191,26 @@ type Invalidation struct {
 	LeaseExpire time.Time
 }
 
+// QueuedInvalidation is one client whose invalidation was queued for later
+// delivery (delayed mode). Since is when its volume lease expired — the
+// start of the discard window.
+type QueuedInvalidation struct {
+	Client ClientID
+	Since  time.Time
+}
+
 // WritePlan tells the server what a pending write must do before the data
 // can change: notify every client in Notify and collect acknowledgments
-// until each client acks or its LeaseExpire passes.
+// until each client acks or its LeaseExpire passes. Queued and Dropped
+// report delayed-mode side effects for observability: clients moved to the
+// Inactive set with the invalidation queued, and clients routed straight to
+// the Unreachable set because their discard window had already elapsed.
 type WritePlan struct {
-	Object ObjectID
-	Notify []Invalidation
+	Object  ObjectID
+	Volume  VolumeID
+	Notify  []Invalidation
+	Queued  []QueuedInvalidation
+	Dropped []ClientID
 }
 
 // BeginWrite starts a write of oid (Figure 3, "Server writes object o").
@@ -212,7 +226,7 @@ func (t *Table) BeginWrite(now time.Time, oid ObjectID) (WritePlan, error) {
 		return WritePlan{}, fmt.Errorf("%w (until %v)", ErrWriteFenced, t.writeFence)
 	}
 	v := o.vol
-	plan := WritePlan{Object: oid}
+	plan := WritePlan{Object: oid, Volume: v.id}
 	for client, ol := range o.at {
 		if !ol.valid(now) {
 			delete(o.at, client)
@@ -227,7 +241,11 @@ func (t *Table) BeginWrite(now time.Time, oid ObjectID) (WritePlan, error) {
 		vl, hasVol := v.at[client]
 		volValid := hasVol && vl.valid(now)
 		if t.cfg.Mode == ModeDelayed && !volValid {
-			t.queuePending(now, v, client, oid, vl, hasVol)
+			if queued, since := t.queuePending(now, v, client, oid, vl, hasVol); queued {
+				plan.Queued = append(plan.Queued, QueuedInvalidation{Client: client, Since: since})
+			} else {
+				plan.Dropped = append(plan.Dropped, client)
+			}
 			delete(o.at, client)
 			continue
 		}
@@ -260,16 +278,17 @@ func volumeBound(v *volume, client ClientID, vl lease, hasVol bool) (time.Time, 
 
 // queuePending moves a volume-expired client to the Inactive set and queues
 // the invalidation, unless the discard window has already elapsed, in which
-// case the client goes straight to Unreachable.
-func (t *Table) queuePending(now time.Time, v *volume, client ClientID, oid ObjectID, vl lease, hasVol bool) {
+// case the client goes straight to Unreachable. It reports which way the
+// client went, and the volume-lease expiry the discard window runs from.
+func (t *Table) queuePending(now time.Time, v *volume, client ClientID, oid ObjectID, vl lease, hasVol bool) (queued bool, since time.Time) {
 	// If the expiry time is unknowable (the client never held a volume
 	// lease here), the zero since conservatively routes it straight to the
 	// Unreachable set when a discard window is configured.
-	since, _ := volumeBound(v, client, vl, hasVol)
+	since, _ = volumeBound(v, client, vl, hasVol)
 	if t.cfg.InactiveDiscard > 0 && !now.Before(since.Add(t.cfg.InactiveDiscard)) {
 		v.unreachable[client] = struct{}{}
 		delete(v.inactive, client)
-		return
+		return false, since
 	}
 	ia, ok := v.inactive[client]
 	if !ok {
@@ -280,6 +299,7 @@ func (t *Table) queuePending(now time.Time, v *volume, client ClientID, oid Obje
 		ia.pending = make(map[ObjectID]struct{})
 	}
 	ia.pending[oid] = struct{}{}
+	return true, since
 }
 
 // AckWriteInvalidate records a client's ACK_INVALIDATE for oid during a
@@ -366,18 +386,21 @@ func (t *Table) VolumeOfObject(oid ObjectID) (VolumeID, error) {
 
 // lazyDiscard applies the InactiveDiscard policy to one client on demand:
 // if its pending list has outlived d, drop it and mark the client
-// unreachable (it has now provably missed invalidations).
-func (t *Table) lazyDiscard(now time.Time, v *volume, client ClientID) {
+// unreachable (it has now provably missed invalidations). It reports
+// whether the client was moved to the Unreachable set by this call.
+func (t *Table) lazyDiscard(now time.Time, v *volume, client ClientID) bool {
 	if t.cfg.Mode != ModeDelayed || t.cfg.InactiveDiscard <= 0 {
-		return
+		return false
 	}
 	ia, ok := v.inactive[client]
 	if !ok {
-		return
+		return false
 	}
+	discarded := false
 	if !now.Before(ia.since.Add(t.cfg.InactiveDiscard)) {
 		if len(ia.pending) > 0 {
 			v.unreachable[client] = struct{}{}
+			discarded = true
 		}
 		delete(v.inactive, client)
 		// Remaining object leases are dropped: the server has stopped
@@ -386,17 +409,29 @@ func (t *Table) lazyDiscard(now time.Time, v *volume, client ClientID) {
 			if _, held := o.at[client]; held {
 				delete(o.at, client)
 				v.unreachable[client] = struct{}{}
+				discarded = true
 			}
 		}
 	}
+	return discarded
+}
+
+// SweptDiscard names a client a sweep moved from the Inactive to the
+// Unreachable set, so callers can surface the transition (the networked
+// server turns each into an observability event).
+type SweptDiscard struct {
+	Client ClientID
+	Volume VolumeID
 }
 
 // Sweep removes expired leases, logs volume-lease expiry times for the
 // inactivity clock, and applies the InactiveDiscard policy table-wide. The
 // networked server calls it periodically; tests call it directly. It
-// returns the number of records removed.
-func (t *Table) Sweep(now time.Time) int {
+// returns the number of records removed and the clients discarded to the
+// Unreachable set.
+func (t *Table) Sweep(now time.Time) (int, []SweptDiscard) {
 	removed := 0
+	var discarded []SweptDiscard
 	for _, v := range t.volumes {
 		for client, l := range v.at {
 			if !l.valid(now) {
@@ -415,7 +450,9 @@ func (t *Table) Sweep(now time.Time) int {
 		}
 		if t.cfg.Mode == ModeDelayed && t.cfg.InactiveDiscard > 0 {
 			for client := range v.inactive {
-				t.lazyDiscard(now, v, client)
+				if t.lazyDiscard(now, v, client) {
+					discarded = append(discarded, SweptDiscard{Client: client, Volume: v.id})
+				}
 			}
 		}
 		// Trim the expiry log for clients that are fully forgotten.
@@ -425,7 +462,7 @@ func (t *Table) Sweep(now time.Time) int {
 			}
 		}
 	}
-	return removed
+	return removed, discarded
 }
 
 // Recover simulates a server reboot (Section 3.1.2): all lease,

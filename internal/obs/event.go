@@ -51,6 +51,18 @@ const (
 	// transport (Msg = kind). Emitted by transport.ObserveNetwork.
 	EvMsgSent
 	EvMsgRecv
+	// EvCacheRead: a client served a read from its cache (Version = the
+	// version it returned). The read-validity invariant applies.
+	EvCacheRead
+	// EvWriteApplied: a server committed a write (Version = new version,
+	// N = clients that never acked). The write-safety invariant applies.
+	EvWriteApplied
+	// EvInvalQueued: delayed mode queued an invalidation for an Inactive
+	// client instead of sending it.
+	EvInvalQueued
+	// EvPendingDelivered: queued invalidations were delivered and acked
+	// ahead of a volume renewal (N = objects invalidated).
+	EvPendingDelivered
 	numEventTypes
 )
 
@@ -70,8 +82,12 @@ var eventNames = [...]string{
 	EvConnect:        "connect",
 	EvDisconnect:     "disconnect",
 	EvRedial:         "redial",
-	EvMsgSent:        "msg-sent",
-	EvMsgRecv:        "msg-recv",
+	EvMsgSent:          "msg-sent",
+	EvMsgRecv:          "msg-recv",
+	EvCacheRead:        "cache-read",
+	EvWriteApplied:     "write-applied",
+	EvInvalQueued:      "inval-queued",
+	EvPendingDelivered: "pending-delivered",
 }
 
 // String names the event type.
@@ -101,6 +117,11 @@ type Event struct {
 	N int
 	// Dur carries a duration payload (ack wait, slow-op latency).
 	Dur time.Duration
+	// Expire carries the lease expiry for grant events.
+	Expire time.Time
+	// Version carries the object version for grants, cache reads, and
+	// applied writes.
+	Version core.Version
 }
 
 // String renders a compact single-line form for logs and test failures.
@@ -123,6 +144,12 @@ func (e Event) String() string {
 	}
 	if e.Dur != 0 {
 		s += fmt.Sprintf(" dur=%v", e.Dur)
+	}
+	if e.Version != 0 {
+		s += fmt.Sprintf(" ver=%d", e.Version)
+	}
+	if !e.Expire.IsZero() {
+		s += " expire=" + e.Expire.Format("15:04:05.000")
 	}
 	return s
 }

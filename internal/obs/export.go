@@ -116,29 +116,63 @@ func varsHandler(r *Registry) http.HandlerFunc {
 	}
 }
 
-// eventsHandler dumps a ring sink's retained events as JSON lines.
+// eventsHandler dumps a ring sink's retained events as JSON lines. Two
+// query parameters narrow long traces:
+//
+//	?type=vol-lease-grant   — only events of that type (repeatable)
+//	?since=5s | ?since=RFC3339 — only events at or after the cutoff
+//	  (a duration is taken relative to now)
 func eventsHandler(ring *RingSink) http.HandlerFunc {
 	type jsonEvent struct {
-		Type   string    `json:"type"`
-		At     time.Time `json:"at"`
-		Node   string    `json:"node,omitempty"`
-		Client string    `json:"client,omitempty"`
-		Object string    `json:"object,omitempty"`
-		Volume string    `json:"volume,omitempty"`
-		Epoch  int64     `json:"epoch,omitempty"`
-		Msg    string    `json:"msg,omitempty"`
-		N      int       `json:"n,omitempty"`
-		DurNS  int64     `json:"dur_ns,omitempty"`
+		Type    string    `json:"type"`
+		At      time.Time `json:"at"`
+		Node    string    `json:"node,omitempty"`
+		Client  string    `json:"client,omitempty"`
+		Object  string    `json:"object,omitempty"`
+		Volume  string    `json:"volume,omitempty"`
+		Epoch   int64     `json:"epoch,omitempty"`
+		Msg     string    `json:"msg,omitempty"`
+		N       int       `json:"n,omitempty"`
+		DurNS   int64     `json:"dur_ns,omitempty"`
+		Version int64      `json:"version,omitempty"`
+		Expire  *time.Time `json:"expire,omitempty"`
 	}
-	return func(w http.ResponseWriter, _ *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		types := make(map[string]bool)
+		for _, t := range q["type"] {
+			types[t] = true
+		}
+		var since time.Time
+		if s := q.Get("since"); s != "" {
+			if d, err := time.ParseDuration(s); err == nil {
+				since = time.Now().Add(-d)
+			} else if at, err := time.Parse(time.RFC3339Nano, s); err == nil {
+				since = at
+			} else {
+				http.Error(w, "since: want a duration (5s) or RFC3339 time", http.StatusBadRequest)
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		for _, e := range ring.Snapshot() {
+			if len(types) > 0 && !types[e.Type.String()] {
+				continue
+			}
+			if !since.IsZero() && e.At.Before(since) {
+				continue
+			}
 			je := jsonEvent{
 				Type: e.Type.String(), At: e.At, Node: e.Node,
 				Client: string(e.Client), Object: string(e.Object),
 				Volume: string(e.Volume), Epoch: int64(e.Epoch),
 				N: e.N, DurNS: int64(e.Dur),
+				Version: int64(e.Version),
+			}
+			if !e.Expire.IsZero() {
+				expire := e.Expire
+				je.Expire = &expire
 			}
 			if e.Msg != 0 {
 				je.Msg = e.Msg.String()

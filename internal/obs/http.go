@@ -8,6 +8,13 @@ import (
 	"time"
 )
 
+// Route is an extra endpoint mounted on the debug mux — e.g. an audit
+// report at /debug/audit.
+type Route struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Handler builds the debug mux:
 //
 //	/metrics       — Prometheus text exposition
@@ -15,9 +22,10 @@ import (
 //	/debug/pprof/  — the standard runtime profiles
 //	/debug/events  — recent protocol events (only when ring != nil)
 //
-// The pprof handlers are wired explicitly so the daemon does not depend on
-// http.DefaultServeMux (which blank-importing net/http/pprof would mutate).
-func Handler(reg *Registry, ring *RingSink) http.Handler {
+// plus any extra routes. The pprof handlers are wired explicitly so the
+// daemon does not depend on http.DefaultServeMux (which blank-importing
+// net/http/pprof would mutate).
+func Handler(reg *Registry, ring *RingSink, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", metricsHandler(reg))
 	mux.HandleFunc("/debug/vars", varsHandler(reg))
@@ -30,6 +38,10 @@ func Handler(reg *Registry, ring *RingSink) http.Handler {
 	if ring != nil {
 		mux.HandleFunc("/debug/events", eventsHandler(ring))
 		index += "\n/debug/events"
+	}
+	for _, rt := range extra {
+		mux.Handle(rt.Path, rt.Handler)
+		index += "\n" + rt.Path
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -49,14 +61,14 @@ type DebugServer struct {
 
 // Serve binds addr (":0" picks a free port) and serves the debug mux in the
 // background until Close.
-func Serve(addr string, reg *Registry, ring *RingSink) (*DebugServer, error) {
+func Serve(addr string, reg *Registry, ring *RingSink, extra ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	d := &DebugServer{
 		ln:  ln,
-		srv: &http.Server{Handler: Handler(reg, ring), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: Handler(reg, ring, extra...), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = d.srv.Serve(ln) }()
 	return d, nil

@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -49,5 +50,54 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 	if code, _ := get("/nope"); code != 404 {
 		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+func TestDebugEventsFilters(t *testing.T) {
+	ring := NewRingSink(16)
+	old := time.Now().Add(-time.Hour)
+	ring.Observe(Event{Type: EvConnect, Client: "c1", At: old})
+	ring.Observe(Event{Type: EvVolLeaseGrant, Client: "c1", Volume: "vol", At: old})
+	ring.Observe(Event{Type: EvWriteApplied, Object: "a", Version: 2, At: time.Now()})
+
+	d, err := Serve("127.0.0.1:0", nil, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	// ?type= keeps only the named event types and is repeatable.
+	if _, body := get("/debug/events?type=vol-lease-grant"); !strings.Contains(body, "vol-lease-grant") ||
+		strings.Contains(body, "write-applied") || strings.Contains(body, `"connect"`) {
+		t.Errorf("type filter leaked: %q", body)
+	}
+	if _, body := get("/debug/events?type=vol-lease-grant&type=write-applied"); !strings.Contains(body, "vol-lease-grant") ||
+		!strings.Contains(body, "write-applied") || strings.Contains(body, `"connect"`) {
+		t.Errorf("repeated type filter wrong: %q", body)
+	}
+
+	// ?since= with a duration drops events older than the window.
+	if _, body := get("/debug/events?since=5m"); strings.Contains(body, "vol-lease-grant") ||
+		!strings.Contains(body, "write-applied") {
+		t.Errorf("since filter wrong: %q", body)
+	}
+	// ...and with an RFC3339 instant keeps everything after it.
+	cutoff := time.Now().Add(-2 * time.Hour).Format(time.RFC3339Nano)
+	if _, body := get("/debug/events?since=" + url.QueryEscape(cutoff)); !strings.Contains(body, "vol-lease-grant") {
+		t.Errorf("RFC3339 since dropped events: %q", body)
+	}
+
+	if code, _ := get("/debug/events?since=not-a-time"); code != 400 {
+		t.Errorf("bad since = %d, want 400", code)
 	}
 }

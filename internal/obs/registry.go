@@ -110,6 +110,16 @@ func (r *Registry) Histogram(name string) *metrics.LatencyHistogram {
 	return h
 }
 
+// RegisterHistogram exports an externally owned latency histogram under
+// name, replacing any previous registration. Components that maintain their
+// own histogram (e.g. the audit staleness distribution) use this instead of
+// Histogram so a single instance backs both the check and the export.
+func (r *Registry) RegisterHistogram(name string, h *metrics.LatencyHistogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists[name] = h
+}
+
 // seriesKind classifies a series for the Prometheus TYPE header.
 type seriesKind uint8
 

@@ -40,6 +40,15 @@ func NewTracer(sinks ...Sink) *Tracer {
 // that must compute event fields eagerly should guard on it.
 func (t *Tracer) Enabled() bool { return t != nil && len(t.sinks) > 0 }
 
+// Sinks returns the tracer's sinks (nil for a nil tracer), so callers can
+// rebuild a tracer with an extra sink attached.
+func (t *Tracer) Sinks() []Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sinks
+}
+
 // Emit delivers e to every sink. Safe on a nil tracer.
 func (t *Tracer) Emit(e Event) {
 	if t == nil {

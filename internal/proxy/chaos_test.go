@@ -64,6 +64,7 @@ func TestProxyChaosMonotonicReads(t *testing.T) {
 			Skew:    5 * time.Millisecond,
 			Timeout: time.Second,
 			Redial:  true,
+			Obs:     h.obs,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -194,6 +194,15 @@ func (p *Proxy) handleReqVolLease(pc *pconn, req wire.ReqVolLease) {
 	now := p.cfg.Clock.Now()
 	p.mu.Lock()
 	g, err := p.table.RequestVolumeLease(now, pc.id, req.Volume, req.Epoch)
+	if err == nil {
+		switch g.Status {
+		case core.VolumeGranted:
+			p.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: pc.id, Volume: g.Volume,
+				Epoch: g.Epoch, Expire: p.capped(g.Expire, upExpire)})
+		case core.VolumeNeedsRenewAll:
+			p.emit(obs.Event{Type: obs.EvReconnect, Client: pc.id, Volume: req.Volume, Epoch: g.Epoch})
+		}
+	}
 	p.mu.Unlock()
 	if err != nil {
 		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown, Msg: err.Error()})
@@ -243,6 +252,10 @@ func (p *Proxy) handleReqObjLease(pc *pconn, req wire.ReqObjLease) {
 	now := p.cfg.Clock.Now()
 	p.mu.Lock()
 	g, err := p.table.GrantObjectLease(now, pc.id, req.Object, req.Version)
+	if err == nil {
+		p.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: pc.id, Object: g.Object,
+			Version: g.Version, Expire: p.capped(g.Expire, upObjExpire)})
+	}
 	p.mu.Unlock()
 	if err != nil {
 		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeNoSuchObject, Msg: err.Error()})
@@ -355,6 +368,8 @@ func (p *Proxy) handleRenewObjLeases(pc *pconn, req wire.RenewObjLeases) {
 		if _, upExpire, ok := p.up.LeaseInfo(g.Object); ok {
 			expire = p.capped(expire, upExpire)
 		}
+		p.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: pc.id, Object: g.Object,
+			Volume: req.Volume, Version: g.Version, Expire: expire})
 		out.Renew = append(out.Renew, wire.LeaseMeta{Object: g.Object, Version: g.Version, Expire: expire})
 	}
 	_ = pc.conn.Send(out)
@@ -367,6 +382,9 @@ func (p *Proxy) handleAckInvalidate(pc *pconn, ack wire.AckInvalidate) error {
 		p.mu.Lock()
 		for _, oid := range ack.Objects {
 			_ = p.table.AckWriteInvalidate(now, pc.id, oid)
+			// Emit before close(ch) so the audit model sees the ack ahead
+			// of anything the released invalidation round does next.
+			p.emit(obs.Event{Type: obs.EvInvalAcked, Client: pc.id, Object: oid, At: now})
 			key := ackKey{client: pc.id, object: oid}
 			if ch, ok := p.acks[key]; ok {
 				close(ch)
@@ -394,6 +412,15 @@ func (p *Proxy) handleAckInvalidate(pc *pconn, ack wire.AckInvalidate) error {
 	now := p.cfg.Clock.Now()
 	p.mu.Lock()
 	g, err := p.table.ConfirmReconnect(now, pc.id, r.volume)
+	if err == nil {
+		// The ack names the copies the client just discarded; drop them from
+		// the audit model before the grant revalidates the volume.
+		for _, oid := range ack.Objects {
+			p.emit(obs.Event{Type: obs.EvInvalAcked, Client: pc.id, Object: oid, At: now})
+		}
+		p.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: pc.id, Volume: g.Volume,
+			Epoch: g.Epoch, Expire: p.capped(g.Expire, upExpire), At: now})
+	}
 	p.mu.Unlock()
 	if err != nil {
 		_ = pc.conn.Send(wire.Error{Seq: ack.Seq, Code: wire.ErrCodeUnknown, Msg: err.Error()})

@@ -336,6 +336,7 @@ func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 	}
 	for _, c := range unacked {
 		p.logf("invalidate %s: downstream %s unreachable", oid, c)
+		p.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid, Volume: plan.Volume, At: now})
 	}
 	p.mu.Unlock()
 	if p.om != nil {
@@ -343,8 +344,5 @@ func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 	}
 	if len(waiters) > 0 {
 		p.emit(obs.Event{Type: obs.EvWriteUnblocked, Object: oid, N: len(unacked), Dur: now.Sub(began), At: now})
-	}
-	for _, c := range unacked {
-		p.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid, At: now})
 	}
 }

@@ -4,27 +4,45 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
 
 // hierarchy builds origin <- proxy and returns both plus the network and
-// the origin's recorder.
+// the origin's recorder. Origin, proxy, and every leaf dialed through
+// dial() share one observer feeding the consistency auditor, so the whole
+// hierarchy is invariant-checked; any violation fails the test at cleanup.
 type hierarchy struct {
 	net    *transport.Memory
 	origin *server.Server
 	px     *proxy.Proxy
 	rec    *metrics.Recorder
+	obs    *obs.Observer
+	aud    *audit.Auditor
 }
 
 func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
 	t.Helper()
 	net := transport.NewMemory()
 	rec := metrics.NewRecorder()
+	// The leaf-level staleness bound is min over the whole chain, which the
+	// proxy's sub-lease terms already are (they are capped upstream).
+	aud := audit.New(audit.LiveConfig(core.Config{
+		ObjectLease: 30 * time.Minute,
+		VolumeLease: time.Second,
+	}, false))
+	observer := &obs.Observer{Tracer: obs.NewTracer(aud)}
+	t.Cleanup(func() {
+		if err := aud.Err(); err != nil {
+			t.Errorf("consistency audit: %v", err)
+		}
+	})
 	origin, err := server.New(server.Config{
 		Name: "origin",
 		Addr: "origin:1",
@@ -36,6 +54,7 @@ func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
 		},
 		MsgTimeout: 50 * time.Millisecond,
 		Recorder:   rec,
+		Obs:        observer,
 	})
 	if err != nil {
 		t.Fatalf("origin: %v", err)
@@ -60,6 +79,7 @@ func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
 		SubVolumeLease: time.Second,
 		Skew:           5 * time.Millisecond,
 		MsgTimeout:     50 * time.Millisecond,
+		Obs:            observer,
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -69,7 +89,7 @@ func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
 		t.Fatalf("proxy: %v", err)
 	}
 	t.Cleanup(func() { px.Close() })
-	return &hierarchy{net: net, origin: origin, px: px, rec: rec}
+	return &hierarchy{net: net, origin: origin, px: px, rec: rec, obs: observer, aud: aud}
 }
 
 func (h *hierarchy) dial(t *testing.T, id string) *client.Client {
@@ -78,6 +98,7 @@ func (h *hierarchy) dial(t *testing.T, id string) *client.Client {
 		ID:      core.ClientID(id),
 		Skew:    5 * time.Millisecond,
 		Timeout: 5 * time.Second,
+		Obs:     h.obs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -275,6 +296,7 @@ func TestProxyRestartForcesLeafResync(t *testing.T) {
 		SubVolumeLease: time.Second,
 		Skew:           5 * time.Millisecond,
 		MsgTimeout:     50 * time.Millisecond,
+		Obs:            h.obs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -314,6 +336,7 @@ func TestProxyChainTwoLevels(t *testing.T) {
 		SubVolumeLease: 800 * time.Millisecond,
 		Skew:           5 * time.Millisecond,
 		MsgTimeout:     50 * time.Millisecond,
+		Obs:            h.obs,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,171 @@
+package server_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// TestDelayedDiscardReconnectUnderPartition drives the live server through
+// the paper's full Inactive -> Unreachable -> reconnection arc with the
+// consistency auditor attached (startServer fails the test on any invariant
+// violation):
+//
+//  1. a client caches an object, then the network partitions it;
+//  2. its volume lease lapses and a write queues a delayed invalidation;
+//  3. the discard window d elapses and the sweeper moves the client to the
+//     Unreachable set, dropping its pending list and object leases;
+//  4. the partition heals and the client's next read runs MUST_RENEW_ALL,
+//     invalidating the stale copy before the fresh volume lease is granted.
+func TestDelayedDiscardReconnectUnderPartition(t *testing.T) {
+	table := core.Config{
+		ObjectLease:     10 * time.Second,
+		VolumeLease:     150 * time.Millisecond,
+		Mode:            core.ModeDelayed,
+		InactiveDiscard: 300 * time.Millisecond,
+	}
+	counts := obs.NewCountSink()
+	env := startServer(t, table, func(cfg *server.Config) {
+		cfg.MsgTimeout = 30 * time.Millisecond
+		cfg.SweepInterval = 25 * time.Millisecond
+		cfg.Obs = &obs.Observer{Tracer: obs.NewTracer(counts)}
+	})
+	c, err := client.Dial(env.net, "srv:1", client.Config{
+		ID:      "napper",
+		Skew:    5 * time.Millisecond,
+		Timeout: time.Second,
+		Redial:  true,
+		Obs:     env.obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if got := mustReadRetry(t, c, "a"); got != "init-a" {
+		t.Fatalf("read = %q, want init-a", got)
+	}
+
+	env.net.Partition("napper", "srv")
+
+	// Let the volume lease lapse so the client goes Inactive; the write must
+	// then queue its invalidation instead of blocking on the dead link.
+	time.Sleep(250 * time.Millisecond)
+	if _, waited, err := env.srv.Write("a", []byte("v2")); err != nil {
+		t.Fatalf("Write: %v", err)
+	} else if waited > 100*time.Millisecond {
+		t.Errorf("delayed write waited %v for a partitioned client", waited)
+	}
+	if counts.Count(obs.EvInvalQueued) == 0 {
+		t.Error("write did not queue a delayed invalidation")
+	}
+
+	// The sweeper must discard the client once the pending list outlives d.
+	deadline := time.Now().Add(2 * time.Second)
+	for counts.Count(obs.EvUnreachable) == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if counts.Count(obs.EvUnreachable) == 0 {
+		t.Fatal("client was never discarded to the Unreachable set")
+	}
+	if st := env.srv.Stats(); st.UnreachableClients == 0 {
+		t.Errorf("stats = %+v: no unreachable clients after discard", st)
+	}
+
+	env.net.Heal("napper", "srv")
+
+	// Reads resume through the reconnection protocol and see the new value.
+	if got := mustReadRetry(t, c, "a"); got != "v2" {
+		t.Fatalf("read after reconnect = %q, want v2", got)
+	}
+	if counts.Count(obs.EvReconnect) == 0 {
+		t.Error("reconnection protocol never ran")
+	}
+}
+
+// TestBestEffortStalenessWithinBound checks the paper's Table 1 claim on the
+// live stack: best-effort writes may leave caches stale, but never staler
+// than min(t, t_v). A partitioned client keeps serving its cached copy after
+// a best-effort write commits; the auditor measures the staleness of every
+// such read and exports it through /metrics, and the observed maximum must
+// stay within the analytic bound.
+func TestBestEffortStalenessWithinBound(t *testing.T) {
+	table := core.Config{
+		ObjectLease: 10 * time.Second,
+		VolumeLease: 2 * time.Second,
+		Mode:        core.ModeEager,
+	}
+	reg := obs.NewRegistry()
+	env := startServer(t, table, func(cfg *server.Config) {
+		cfg.WriteMode = server.WriteBestEffort
+		cfg.BestEffortGrace = 20 * time.Millisecond
+		cfg.MsgTimeout = 10 * time.Millisecond
+		cfg.Obs = &obs.Observer{Metrics: reg}
+	})
+	c := env.dial(t, "c1")
+	if got := mustRead(t, c, "a"); got != "init-a" {
+		t.Fatalf("read = %q", got)
+	}
+
+	// Cut the link: the invalidation is lost, and best-effort means the
+	// write commits after the grace period anyway.
+	env.net.Partition("c1", "srv")
+	if _, waited, err := env.srv.Write("a", []byte("v2")); err != nil {
+		t.Fatalf("Write: %v", err)
+	} else if waited > 500*time.Millisecond {
+		t.Errorf("best-effort write waited %v, want ~grace", waited)
+	}
+
+	// The client's leases are still valid, so cached reads keep succeeding —
+	// and keep returning the superseded version. Each is a measured stale
+	// read.
+	for i := 0; i < 3; i++ {
+		time.Sleep(30 * time.Millisecond)
+		if got := mustRead(t, c, "a"); got != "init-a" {
+			t.Fatalf("best-effort cached read = %q, want stale init-a", got)
+		}
+	}
+	if env.aud.StaleReads() == 0 {
+		t.Fatal("auditor measured no stale reads")
+	}
+	bound := table.VolumeLease // min(t, t_v)
+	if max := env.aud.MaxStaleness(); max <= 0 || max > bound {
+		t.Errorf("max observed staleness %v outside (0, %v]", max, bound)
+	}
+
+	// The same numbers must come out of the metrics export.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "lease_audit_staleness_seconds") {
+		t.Error("/metrics is missing the staleness histogram")
+	}
+	maxLine := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "lease_audit_max_observed_staleness_seconds") {
+			maxLine = line
+		}
+	}
+	if maxLine == "" {
+		t.Fatal("/metrics is missing lease_audit_max_observed_staleness_seconds")
+	}
+	fields := strings.Fields(maxLine)
+	got, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", maxLine, err)
+	}
+	if got <= 0 || got > bound.Seconds() {
+		t.Errorf("exported max staleness %v outside (0, %v]", got, bound.Seconds())
+	}
+
+	// Heal so the client acks the retried invalidation (if any) and the test
+	// tears down without the auditor seeing a half-open conversation.
+	env.net.Heal("c1", "srv")
+}

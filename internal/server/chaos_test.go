@@ -82,6 +82,7 @@ func TestChaosMonotonicReads(t *testing.T) {
 			Skew:    5 * time.Millisecond,
 			Timeout: time.Second,
 			Redial:  true,
+			Obs:     env.obs,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -159,6 +159,12 @@ func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
 		return nil
 	}
 	g, err := s.table.GrantObjectLease(s.cfg.Clock.Now(), cc.id, req.Object, req.Version)
+	if err == nil {
+		// Emitted under s.mu so the audit model sees the grant strictly
+		// before any write that includes this client in its plan.
+		s.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: cc.id, Object: g.Object,
+			Version: g.Version, Expire: g.Expire})
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return s.sendErr(cc, req.Seq, err)
@@ -166,7 +172,6 @@ func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
 	if s.om != nil {
 		s.om.objGrants.Inc()
 	}
-	s.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: cc.id, Object: g.Object})
 	reply := wire.ObjLease{
 		Seq:     req.Seq,
 		Object:  g.Object,
@@ -209,6 +214,17 @@ func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
 		return nil
 	}
 	g, err := s.table.RequestVolumeLease(s.cfg.Clock.Now(), cc.id, req.Volume, req.Epoch)
+	if err == nil {
+		// Grant and reconnect events are emitted under s.mu so the audit
+		// model observes them ordered against write commits and acks.
+		switch g.Status {
+		case core.VolumeGranted:
+			s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume,
+				Epoch: g.Epoch, Expire: g.Expire})
+		case core.VolumeNeedsRenewAll:
+			s.emit(obs.Event{Type: obs.EvReconnect, Client: cc.id, Volume: req.Volume, Epoch: g.Epoch})
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return s.sendErr(cc, req.Seq, err)
@@ -218,7 +234,6 @@ func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
 		if s.om != nil {
 			s.om.volGrants.Inc()
 		}
-		s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume, Epoch: g.Epoch})
 		return s.send(cc, metrics.MsgVolLease, wire.VolLease{
 			Seq: req.Seq, Volume: g.Volume, Expire: g.Expire, Epoch: g.Epoch,
 		})
@@ -233,7 +248,6 @@ func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
 		if s.om != nil {
 			s.om.reconnects.Inc()
 		}
-		s.emit(obs.Event{Type: obs.EvReconnect, Client: cc.id, Volume: req.Volume, Epoch: g.Epoch})
 		return s.send(cc, metrics.MsgMustRenewAll, wire.MustRenewAll{
 			Seq: req.Seq, Volume: req.Volume, Epoch: g.Epoch,
 		})
@@ -266,6 +280,15 @@ func (s *Server) handleRenewObjLeases(cc *clientConn, req wire.RenewObjLeases) e
 		}
 	}
 	res, err := s.table.HandleRenewObjLeases(s.cfg.Clock.Now(), cc.id, req.Volume, req.Held)
+	if err == nil {
+		// Renewed leases are fresh grants as far as the audit model is
+		// concerned: without these events it would judge post-reconnection
+		// cache reads against the pre-disconnect expiries.
+		for _, g := range res.Renew {
+			s.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: cc.id, Object: g.Object,
+				Volume: req.Volume, Version: g.Version, Expire: g.Expire})
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		cc.takeRenewal(req.Seq, true)
@@ -299,10 +322,29 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 	switch r.stage {
 	case stageAwaitPendingAck:
 		g, err = s.table.ConfirmPendingDelivered(now, cc.id, r.volume)
+		if err == nil {
+			for _, oid := range ack.Objects {
+				s.emit(obs.Event{Type: obs.EvInvalAcked, Client: cc.id, Object: oid, At: now})
+			}
+			s.emit(obs.Event{Type: obs.EvPendingDelivered, Client: cc.id, Volume: r.volume,
+				N: len(ack.Objects), At: now})
+		}
 	case stageAwaitReconnectAck:
 		g, err = s.table.ConfirmReconnect(now, cc.id, r.volume)
+		if err == nil {
+			// The ack names the copies the client just discarded; without
+			// these events the audit model would keep judging writes against
+			// cache entries that no longer exist.
+			for _, oid := range ack.Objects {
+				s.emit(obs.Event{Type: obs.EvInvalAcked, Client: cc.id, Object: oid, At: now})
+			}
+		}
 	default:
 		err = fmt.Errorf("server: ack in unexpected stage %d", r.stage)
+	}
+	if err == nil {
+		s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume,
+			Epoch: g.Epoch, Expire: g.Expire, At: now})
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -311,7 +353,6 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 	if s.om != nil {
 		s.om.volGrants.Inc()
 	}
-	s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume, Epoch: g.Epoch})
 	return s.send(cc, metrics.MsgVolLease, wire.VolLease{
 		Seq: ack.Seq, Volume: g.Volume, Expire: g.Expire, Epoch: g.Epoch,
 	})
@@ -336,6 +377,10 @@ func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID
 	s.mu.Lock()
 	for _, oid := range objects {
 		_ = s.table.AckWriteInvalidate(now, client, oid)
+		// Emit before close(ch): the channel close releases the write
+		// goroutine, and the audit model must see the ack before the
+		// write's commit event.
+		s.emit(obs.Event{Type: obs.EvInvalAcked, Client: client, Object: oid, At: now})
 		key := ackKey{client: client, object: oid}
 		if ch, ok := s.acks[key]; ok {
 			close(ch)
@@ -345,11 +390,6 @@ func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID
 	s.mu.Unlock()
 	if s.om != nil {
 		s.om.invalAcked.Add(int64(len(objects)))
-	}
-	if s.cfg.Obs.Tracing() {
-		for _, oid := range objects {
-			s.emit(obs.Event{Type: obs.EvInvalAcked, Client: client, Object: oid, At: now})
-		}
 	}
 }
 

@@ -8,19 +8,26 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
-// testEnv bundles a server and its network.
+// testEnv bundles a server and its network. Every test runs with the
+// consistency auditor tapping the shared event stream (server and clients
+// emit into the same Observer); any invariant violation fails the test at
+// cleanup.
 type testEnv struct {
 	net *transport.Memory
 	srv *server.Server
 	rec *metrics.Recorder
+	obs *obs.Observer
+	aud *audit.Auditor
 }
 
 // tableCfg are the default lease parameters for live tests: short volume
@@ -49,6 +56,36 @@ func startServer(t *testing.T, table core.Config, mutate func(*server.Config)) *
 	if mutate != nil {
 		mutate(&cfg)
 	}
+	aud := audit.New(audit.LiveConfig(cfg.Table, cfg.WriteMode == server.WriteBestEffort))
+	observer := cfg.Obs
+	if observer == nil {
+		observer = &obs.Observer{}
+		cfg.Obs = observer
+	}
+	if observer.Metrics != nil {
+		aud.Register(observer.Metrics)
+	}
+	ring := obs.NewRingSink(8192)
+	observer.Tracer = obs.NewTracer(append(observer.Tracer.Sinks(), aud, ring)...)
+	t.Cleanup(func() {
+		err := aud.Err()
+		if err == nil {
+			return
+		}
+		t.Errorf("consistency audit: %v", err)
+		// Dump the violating client's event history so the failure is
+		// diagnosable from the test log alone.
+		if vs := aud.Violations(); len(vs) > 0 {
+			v := vs[0]
+			for _, e := range ring.Snapshot() {
+				if e.Client == v.Client || (e.Client == "" && e.Object == v.Object) {
+					t.Logf("evt %s client=%s obj=%s vol=%s ver=%d epoch=%d n=%d at=%s exp=%s",
+						e.Type, e.Client, e.Object, e.Volume, e.Version, e.Epoch, e.N,
+						e.At.Format("15:04:05.000000"), e.Expire.Format("15:04:05.000000"))
+				}
+			}
+		}
+	})
 	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatalf("server.New: %v", err)
@@ -62,7 +99,7 @@ func startServer(t *testing.T, table core.Config, mutate func(*server.Config)) *
 			t.Fatal(err)
 		}
 	}
-	return &testEnv{net: net, srv: srv, rec: rec}
+	return &testEnv{net: net, srv: srv, rec: rec, obs: observer, aud: aud}
 }
 
 // dial connects a client.
@@ -72,6 +109,7 @@ func (e *testEnv) dial(t *testing.T, id string) *client.Client {
 		ID:      core.ClientID(id),
 		Skew:    10 * time.Millisecond,
 		Timeout: 5 * time.Second,
+		Obs:     e.obs,
 	})
 	if err != nil {
 		t.Fatalf("Dial(%s): %v", id, err)

@@ -19,6 +19,7 @@ func TestRedialSurvivesServerRecover(t *testing.T) {
 		Skew:    10 * time.Millisecond,
 		Timeout: 3 * time.Second,
 		Redial:  true,
+		Obs:     env.obs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -56,6 +57,7 @@ func TestRedialAfterConnDrop(t *testing.T) {
 		Skew:    10 * time.Millisecond,
 		Timeout: 3 * time.Second,
 		Redial:  true,
+		Obs:     env.obs,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +69,7 @@ func TestRedialAfterConnDrop(t *testing.T) {
 
 	// Sever the link by dialing a second client with the same ID: the
 	// server closes the old connection on duplicate Hello.
-	c2, err := client.Dial(env.net, "srv:1", client.Config{ID: "bouncy"})
+	c2, err := client.Dial(env.net, "srv:1", client.Config{ID: "bouncy", Obs: env.obs})
 	if err != nil {
 		t.Fatal(err)
 	}

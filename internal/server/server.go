@@ -253,12 +253,20 @@ func (s *Server) Recover() {
 	}
 	s.table.Recover(s.cfg.Clock.Now())
 	fence := s.table.WriteFence()
-	volumes := len(s.table.Volumes())
+	volumes := s.table.Volumes()
+	// Per-volume epoch events, emitted under s.mu so the audit model resets
+	// its reachability bookkeeping before any post-recovery grant.
+	for _, vid := range volumes {
+		ep, err := s.table.VolumeEpoch(vid)
+		if err != nil {
+			continue
+		}
+		s.emit(obs.Event{Type: obs.EvEpochBump, Volume: vid, Epoch: ep})
+	}
 	s.mu.Unlock()
 	if s.om != nil {
-		s.om.epochBumps.Add(int64(volumes))
+		s.om.epochBumps.Add(int64(len(volumes)))
 	}
-	s.emit(obs.Event{Type: obs.EvEpochBump, N: volumes})
 	s.logf("recovered: epochs bumped, writes fenced until %v", fence)
 	if err := s.persistEpochs(); err != nil {
 		s.logf("persist after recover: %v", err)
@@ -301,8 +309,15 @@ func (s *Server) sweepLoop() {
 		case <-s.closed:
 			return
 		case <-s.cfg.Clock.After(s.cfg.SweepInterval):
+			now := s.cfg.Clock.Now()
 			s.mu.Lock()
-			swept := s.table.Sweep(s.cfg.Clock.Now())
+			swept, discarded := s.table.Sweep(now)
+			// Discard transitions are emitted under s.mu so the audit model
+			// orders them against grants: a client the sweep just dropped
+			// must be Unreachable before any later write or reconnection.
+			for _, d := range discarded {
+				s.emit(obs.Event{Type: obs.EvUnreachable, Client: d.Client, Volume: d.Volume, At: now})
+			}
 			s.mu.Unlock()
 			if swept > 0 {
 				if s.om != nil {

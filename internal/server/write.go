@@ -49,6 +49,16 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		waiters = append(waiters, waiter{client: inv.Client, ch: ch, bound: inv.LeaseExpire})
 		targets = append(targets, s.conns[inv.Client]) // nil if not connected
 	}
+	// Delayed-mode side effects are emitted under s.mu so the audit model
+	// observes them strictly ordered against lease grants and ack events.
+	for _, q := range plan.Queued {
+		s.emit(obs.Event{Type: obs.EvInvalQueued, Client: q.Client, Object: oid,
+			Volume: plan.Volume, Expire: q.Since, At: start})
+	}
+	for _, c := range plan.Dropped {
+		s.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid,
+			Volume: plan.Volume, At: start})
+	}
 	s.mu.Unlock()
 
 	if s.om != nil {
@@ -128,6 +138,16 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 	version, err := s.table.FinishWrite(now, oid, data, unacked)
 	delete(s.writing, oid)
 	close(guard)
+	if err == nil {
+		// Unreachable transitions precede the commit event so the audit
+		// model never judges a dropped client against the new version.
+		for _, c := range unacked {
+			s.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid,
+				Volume: plan.Volume, At: now})
+		}
+		s.emit(obs.Event{Type: obs.EvWriteApplied, Object: oid, Volume: plan.Volume,
+			Version: version, N: len(unacked), At: now})
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return 0, 0, err
@@ -142,9 +162,6 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 	}
 	if len(waiters) > 0 {
 		s.emit(obs.Event{Type: obs.EvWriteUnblocked, Object: oid, N: len(unacked), Dur: waited, At: now})
-	}
-	for _, c := range unacked {
-		s.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid, At: now})
 	}
 	if t := s.cfg.SlowWriteThreshold; t > 0 && waited >= t {
 		if s.om != nil {

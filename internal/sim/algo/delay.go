@@ -6,7 +6,10 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -131,6 +134,10 @@ func (dl *Delay) discard(now time.Time, cs csKey) {
 			dl.unreachable[cs] = struct{}{}
 			dl.chargeState(now, cs.server, +1)
 		}
+		if dl.env.Auditing() {
+			dl.env.Emit(obs.Event{Type: obs.EvUnreachable, Client: core.ClientID(cs.client),
+				Volume: simVolID(volKey(cs.server)), At: now})
+		}
 	}
 }
 
@@ -147,11 +154,13 @@ func (dl *Delay) HandleRead(now time.Time, e trace.Event) {
 
 	if dl.objLeases.valid(now, k, e.Client) && dl.hasCopy(ck) {
 		dl.env.Rec.Read(!dl.hasCurrentCopy(ck))
+		dl.auditCacheRead(now, ck, vk)
 		return
 	}
 	dl.msg(now, e.Server, metrics.MsgObjLeaseReq, sim.CtrlBytes)
 	dl.fetch(now, ck, e.Size, metrics.MsgObjLease)
 	dl.objLeases.grant(now, k, e.Client, dl.t)
+	dl.auditObjGrant(now, ck, now.Add(dl.t))
 	dl.env.Rec.Read(false)
 }
 
@@ -170,6 +179,7 @@ func (dl *Delay) renewVolume(now time.Time, cs csKey, vk objKey) {
 	}
 	delete(dl.volExpiredAt, cs)
 	dl.volLeases.grant(now, vk, cs.client, dl.tv)
+	dl.auditVolGrant(now, cs.client, vk, now.Add(dl.tv))
 }
 
 func (dl *Delay) isUnreachable(cs csKey) bool {
@@ -192,6 +202,11 @@ func (dl *Delay) flushPending(now time.Time, cs csKey) {
 	dl.msg(now, cs.server, metrics.MsgAckInvalidate, sim.CtrlBytes)
 	for k := range pend {
 		dl.dropCachedCopy(copyKey{cs.client, k})
+		dl.auditInvalAck(now, copyKey{cs.client, k})
+	}
+	if dl.env.Auditing() {
+		dl.env.Emit(obs.Event{Type: obs.EvPendingDelivered, Client: core.ClientID(cs.client),
+			Volume: simVolID(volKey(cs.server)), N: len(pend), At: now})
 	}
 	dl.chargeState(now, cs.server, -len(pend)) // queued messages released
 	dl.chargeState(now, cs.server, -1)         // inactive-set entry released
@@ -204,6 +219,10 @@ func (dl *Delay) flushPending(now time.Time, cs csKey) {
 // and re-grants leases on the current ones.
 func (dl *Delay) reconnect(now time.Time, cs csKey) {
 	objs := dl.cachedObjects(cs)
+	if dl.env.Auditing() {
+		dl.env.Emit(obs.Event{Type: obs.EvReconnect, Client: core.ClientID(cs.client),
+			Volume: simVolID(volKey(cs.server)), N: len(objs), At: now})
+	}
 	dl.msg(now, cs.server, metrics.MsgVolLeaseReq, sim.CtrlBytes)
 	dl.msg(now, cs.server, metrics.MsgMustRenewAll, sim.CtrlBytes)
 	dl.msg(now, cs.server, metrics.MsgRenewObjLeases,
@@ -217,8 +236,10 @@ func (dl *Delay) reconnect(now time.Time, cs csKey) {
 		ck := copyKey{cs.client, k}
 		if dl.hasCurrentCopy(ck) {
 			dl.objLeases.grant(now, k, cs.client, dl.t)
+			dl.auditObjGrant(now, ck, now.Add(dl.t))
 		} else {
 			dl.dropCachedCopy(ck)
+			dl.auditInvalAck(now, ck)
 		}
 	}
 	delete(dl.unreachable, cs)
@@ -231,6 +252,7 @@ func (dl *Delay) reconnect(now time.Time, cs csKey) {
 func (dl *Delay) HandleWrite(now time.Time, e trace.Event) {
 	k := objKey{e.Server, e.Object}
 	vk := volKey(e.Server)
+	invalidated := 0
 	for _, client := range dl.objLeases.holders(now, k) {
 		cs := csKey{client, e.Server}
 		if dl.volLeases.valid(now, vk, client) {
@@ -238,6 +260,8 @@ func (dl *Delay) HandleWrite(now time.Time, e trace.Event) {
 			dl.msg(now, e.Server, metrics.MsgAckInvalidate, sim.CtrlBytes)
 			dl.objLeases.revoke(now, k, client)
 			dl.dropCachedCopy(copyKey{client, k})
+			dl.auditInvalAck(now, copyKey{client, k})
+			invalidated++
 			continue
 		}
 		// Inactive path: no message now; queue for the next renewal.
@@ -248,9 +272,35 @@ func (dl *Delay) HandleWrite(now time.Time, e trace.Event) {
 		dl.pending[cs][k] = struct{}{}
 		dl.chargeState(now, e.Server, +1) // queued message
 		dl.objLeases.revoke(now, k, client)
+		if dl.env.Auditing() {
+			// Expire carries when the holder's volume lease lapsed: the
+			// auditor's discard window runs from that instant.
+			dl.env.Emit(obs.Event{Type: obs.EvInvalQueued, Client: core.ClientID(client),
+				Object: simObjID(k), Volume: simVolID(vk),
+				Expire: dl.volExpiredAt[cs], At: now})
+		}
 	}
 	dl.bump(k)
+	dl.auditWrite(now, k, vk, invalidated)
 	dl.env.Rec.Write(0)
+}
+
+// AuditConfig implements audit.Profiled: identical invariants to Volume,
+// plus the discard-window check armed with d (disabled for the ∞
+// configuration, which never discards).
+func (dl *Delay) AuditConfig() audit.Config {
+	d := dl.d
+	if d == Forever {
+		d = 0
+	}
+	return audit.Config{
+		ObjectLease:        dl.t,
+		VolumeLease:        dl.tv,
+		InactiveDiscard:    d,
+		RequireObjectLease: true,
+		RequireVolumeLease: true,
+		CheckStaleness:     true,
+	}
 }
 
 // fetch wraps fetchResponse, maintaining the per-client cached-object index.

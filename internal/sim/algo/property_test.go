@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -43,14 +44,34 @@ func randomTrace(seed int64, events int) trace.Trace {
 	return tr
 }
 
-// runSpec simulates and returns the recorder.
+// runSpec simulates with the consistency auditor attached and returns the
+// recorder; any invariant violation fails the test.
 func runSpec(t *testing.T, tr trace.Trace, mk func(env *sim.Env) sim.Algorithm) *metrics.Recorder {
 	t.Helper()
-	rec, _, err := sim.Simulate(tr, mk)
-	if err != nil {
-		t.Fatalf("Simulate: %v", err)
+	rec, aud := runAudited(t, tr, mk)
+	if err := aud.Err(); err != nil {
+		t.Fatalf("audit: %v", err)
 	}
 	return rec
+}
+
+// runAudited simulates with an auditor attached and returns it unchecked,
+// for tests that inspect the verdict themselves.
+func runAudited(t *testing.T, tr trace.Trace, mk func(env *sim.Env) sim.Algorithm) (*metrics.Recorder, *audit.Auditor) {
+	t.Helper()
+	rec := metrics.NewRecorder()
+	eng := sim.NewEngine(rec)
+	al := mk(eng.Env())
+	p, ok := al.(audit.Profiled)
+	if !ok {
+		t.Fatalf("%s does not declare an audit profile", al.Name())
+	}
+	aud := audit.New(p.AuditConfig())
+	eng.Observe(aud)
+	if _, err := eng.Run(tr, al); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rec, aud
 }
 
 func TestQuickStrongAlgorithmsNeverStale(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -69,14 +70,17 @@ func (v *Volume) HandleRead(now time.Time, e trace.Event) {
 		v.msg(now, e.Server, metrics.MsgVolLeaseReq, sim.CtrlBytes)
 		v.msg(now, e.Server, metrics.MsgVolLease, sim.CtrlBytes)
 		v.volLeases.grant(now, vk, e.Client, v.tv)
+		v.auditVolGrant(now, e.Client, vk, now.Add(v.tv))
 	}
 	if v.objLeases.valid(now, k, e.Client) && v.hasCopy(ck) {
 		v.env.Rec.Read(!v.hasCurrentCopy(ck))
+		v.auditCacheRead(now, ck, vk)
 		return
 	}
 	v.msg(now, e.Server, metrics.MsgObjLeaseReq, sim.CtrlBytes)
 	v.fetchResponse(now, ck, e.Size, metrics.MsgObjLease)
 	v.objLeases.grant(now, k, e.Client, v.t)
+	v.auditObjGrant(now, ck, now.Add(v.t))
 	v.env.Rec.Read(false)
 }
 
@@ -84,12 +88,29 @@ func (v *Volume) HandleRead(now time.Time, e trace.Event) {
 // holders, then write.
 func (v *Volume) HandleWrite(now time.Time, e trace.Event) {
 	k := objKey{e.Server, e.Object}
+	invalidated := 0
 	for _, client := range v.objLeases.holders(now, k) {
 		v.msg(now, e.Server, metrics.MsgInvalidate, sim.CtrlBytes)
 		v.msg(now, e.Server, metrics.MsgAckInvalidate, sim.CtrlBytes)
 		v.objLeases.revoke(now, k, client)
 		v.dropCopy(copyKey{client, k})
+		v.auditInvalAck(now, copyKey{client, k})
+		invalidated++
 	}
 	v.bump(k)
+	v.auditWrite(now, k, v.vkey(e.Server, e.Object), invalidated)
 	v.env.Rec.Write(0)
+}
+
+// AuditConfig implements audit.Profiled: reads require both leases, writes
+// must not race valid holders, and staleness is bounded by min(t, tv).
+// Slack is zero — the simulation is deterministic.
+func (v *Volume) AuditConfig() audit.Config {
+	return audit.Config{
+		ObjectLease:        v.t,
+		VolumeLease:        v.tv,
+		RequireObjectLease: true,
+		RequireVolumeLease: true,
+		CheckStaleness:     true,
+	}
 }
