@@ -32,9 +32,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark snapshot: ns/op and allocs/op for every
-# benchmark, as JSON (format documented in EXPERIMENTS.md).
+# benchmark, as JSON (format documented in EXPERIMENTS.md). Includes
+# BenchmarkConcurrentWrites, whose writes/s metric across 1/4/16 volumes is
+# the sharded write path's scaling curve.
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 fuzz:
 	$(GO) test ./internal/wire -run Fuzz -fuzz=FuzzDecode -fuzztime=30s

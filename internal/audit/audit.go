@@ -28,6 +28,17 @@
 // expiry times carried in grant events against event timestamps, so the
 // auditor tolerates benign cross-goroutine delivery skew (a configurable
 // Slack absorbs clock-edge races in the live stack).
+//
+// # Ordering contract
+//
+// The live server shards its consistency state per volume and emits each
+// volume's protocol events under that shard's mutex, through synchronous
+// sinks — so the auditor receives every volume's events in their true
+// order, while streams from different volumes interleave arbitrarily.
+// That is exactly what the model needs: every invariant is scoped to one
+// (client, volume, object) lineage, never across volumes. Observe
+// serializes concurrent callers internally, so per-shard goroutines may
+// feed one Auditor directly.
 package audit
 
 import (

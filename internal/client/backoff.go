@@ -1,0 +1,46 @@
+package client
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// redialBackoff produces the delays between reconnection attempts: capped
+// exponential growth with ±50% jitter. The jitter matters at scale — a
+// server restart disconnects every client at the same instant, and without
+// it they all redial in lockstep (a thundering herd that the paper's
+// large-scale setting, thousands of clients per server, makes fatal). Each
+// client's schedule is seeded from its ID and the current time, so two
+// clients that fail together still spread their retries.
+type redialBackoff struct {
+	cur time.Duration // next nominal delay, before jitter
+	max time.Duration
+	rng *rand.Rand
+}
+
+// newRedialBackoff builds a schedule starting at initial and doubling up to
+// max. Both must be positive.
+func newRedialBackoff(initial, max time.Duration, id core.ClientID) *redialBackoff {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	seed := int64(h.Sum64()) ^ time.Now().UnixNano()
+	return &redialBackoff{cur: initial, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// next returns the delay before the upcoming attempt: the current nominal
+// delay jittered uniformly over [0.5d, 1.5d), then doubles the nominal
+// delay toward the cap.
+func (b *redialBackoff) next() time.Duration {
+	d := b.cur
+	jittered := d/2 + time.Duration(b.rng.Int63n(int64(d)))
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return jittered
+}

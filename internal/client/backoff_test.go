@@ -1,0 +1,73 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRedialBackoffJitterBounds(t *testing.T) {
+	const initial, cap = 10 * time.Millisecond, time.Second
+	bo := newRedialBackoff(initial, cap, "c1")
+	nominal := initial
+	for i := 0; i < 12; i++ {
+		d := bo.next()
+		lo, hi := nominal/2, nominal+nominal/2
+		if d < lo || d >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, lo, hi)
+		}
+		if nominal < cap {
+			nominal *= 2
+			if nominal > cap {
+				nominal = cap
+			}
+		}
+	}
+	if nominal != cap {
+		t.Fatalf("nominal delay %v never reached the cap %v", nominal, cap)
+	}
+}
+
+func TestRedialBackoffConfigurableCap(t *testing.T) {
+	const capped = 80 * time.Millisecond
+	bo := newRedialBackoff(10*time.Millisecond, capped, "c1")
+	for i := 0; i < 20; i++ {
+		if d := bo.next(); d >= capped+capped/2 {
+			t.Fatalf("attempt %d: delay %v exceeds jittered cap %v", i, d, capped+capped/2)
+		}
+	}
+}
+
+// TestRedialBackoffSchedulesDiverge is the thundering-herd regression: two
+// clients disconnected by the same server restart must not retry on
+// identical schedules. Without jitter every delay was deterministic
+// (10ms, 20ms, 40ms, ...) and this test fails.
+func TestRedialBackoffSchedulesDiverge(t *testing.T) {
+	a := newRedialBackoff(10*time.Millisecond, time.Second, "client-a")
+	b := newRedialBackoff(10*time.Millisecond, time.Second, "client-b")
+	identical := true
+	for i := 0; i < 8; i++ {
+		if a.next() != b.next() {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("two clients produced identical redial schedules; jitter is not spreading them")
+	}
+}
+
+func TestRedialBackoffConfigDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.RedialBackoff != 10*time.Millisecond {
+		t.Errorf("RedialBackoff default = %v, want 10ms", c.RedialBackoff)
+	}
+	if c.RedialBackoffCap != time.Second {
+		t.Errorf("RedialBackoffCap default = %v, want 1s", c.RedialBackoffCap)
+	}
+	// A cap below the initial delay is floored at the initial delay.
+	c2 := Config{RedialBackoff: 40 * time.Millisecond, RedialBackoffCap: 20 * time.Millisecond}
+	c2.fillDefaults()
+	if c2.RedialBackoffCap != 40*time.Millisecond {
+		t.Errorf("RedialBackoffCap = %v, want floored to 40ms", c2.RedialBackoffCap)
+	}
+}

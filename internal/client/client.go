@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -68,6 +69,14 @@ type Config struct {
 	// so the surviving cache is resynchronized safely. Only effective for
 	// clients built with Dial (NewOnConn has no dialer).
 	Redial bool
+	// RedialBackoff is the first redial delay; successive delays double up
+	// to RedialBackoffCap, each jittered by ±50% so clients disconnected by
+	// the same server restart spread their retries instead of reconnecting
+	// in lockstep. Defaults to 10ms.
+	RedialBackoff time.Duration
+	// RedialBackoffCap bounds the nominal redial delay (the jitter may
+	// exceed it by up to 50%). Defaults to 1s.
+	RedialBackoffCap time.Duration
 	// OnInvalidate, when non-nil, is called synchronously with every batch
 	// of objects the server invalidates, BEFORE the acknowledgment is sent
 	// back. Hierarchical caches (internal/proxy) use it to invalidate their
@@ -79,6 +88,9 @@ type Config struct {
 	// redials, reconnection rounds) and exposes the cache counters as
 	// scrape-time gauges. A nil Obs costs the hot paths a single nil check.
 	Obs *obs.Observer
+	// Recorder, when non-nil, receives write ack-wait accounting for writes
+	// issued through a Pool (see Pool.Write).
+	Recorder *metrics.Recorder
 	// Logf, when non-nil, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +104,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 10 * time.Second
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 10 * time.Millisecond
+	}
+	if c.RedialBackoffCap <= 0 {
+		c.RedialBackoffCap = time.Second
+	}
+	if c.RedialBackoffCap < c.RedialBackoff {
+		c.RedialBackoffCap = c.RedialBackoff
 	}
 }
 
@@ -339,7 +360,7 @@ func (c *Client) isClosed() bool {
 // redial re-establishes the connection with capped exponential backoff. It
 // returns false when the client was closed while retrying.
 func (c *Client) redial() bool {
-	backoff := 10 * time.Millisecond
+	bo := newRedialBackoff(c.cfg.RedialBackoff, c.cfg.RedialBackoffCap, c.cfg.ID)
 	for {
 		select {
 		case <-c.done:
@@ -358,14 +379,12 @@ func (c *Client) redial() bool {
 			}
 			conn.Close()
 		}
-		c.logf("redial failed: %v (retrying in %v)", err, backoff)
+		delay := bo.next()
+		c.logf("redial failed: %v (retrying in %v)", err, delay)
 		select {
 		case <-c.done:
 			return false
-		case <-c.cfg.Clock.After(backoff):
-		}
-		if backoff < time.Second {
-			backoff *= 2
+		case <-c.cfg.Clock.After(delay):
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/transport"
@@ -112,14 +113,21 @@ func (p *Pool) Read(vid core.VolumeID, oid core.ObjectID) ([]byte, error) {
 	return c.Read(vid, oid)
 }
 
-// Write modifies vid/oid through the volume's server.
-func (p *Pool) Write(vid core.VolumeID, oid core.ObjectID, data []byte) (core.Version, error) {
+// Write modifies vid/oid through the volume's server. The returned duration
+// is how long the server blocked the write collecting invalidation
+// acknowledgments (the paper's min(t, t_v) wait) — pool-level callers use it
+// to spot writes stalled on slow or unreachable lease holders. When
+// Config.Recorder is set, the wait is also recorded there.
+func (p *Pool) Write(vid core.VolumeID, oid core.ObjectID, data []byte) (core.Version, time.Duration, error) {
 	c, err := p.clientFor(vid)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	version, _, err := c.Write(oid, data)
-	return version, err
+	version, waited, err := c.Write(oid, data)
+	if err == nil && p.cfg.Recorder != nil {
+		p.cfg.Recorder.Write(waited)
+	}
+	return version, waited, err
 }
 
 // Peek returns the locally cached copy of oid at whichever server client

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -114,12 +115,15 @@ func TestPoolWriteAndInvalidate(t *testing.T) {
 	if _, err := p.Read("vol-0", "obj"); err != nil {
 		t.Fatal(err)
 	}
-	version, err := p.Write("vol-0", "obj", []byte("updated"))
+	version, waited, err := p.Write("vol-0", "obj", []byte("updated"))
 	if err != nil {
 		t.Fatalf("Write: %v", err)
 	}
 	if version != 2 {
 		t.Errorf("version = %d, want 2", version)
+	}
+	if waited < 0 {
+		t.Errorf("waited = %v, want >= 0", waited)
 	}
 	data, err := p.Read("vol-0", "obj")
 	if err != nil || string(data) != "updated" {
@@ -129,6 +133,42 @@ func TestPoolWriteAndInvalidate(t *testing.T) {
 	data, err = p.Read("vol-1", "obj")
 	if err != nil || string(data) != "data-1" {
 		t.Errorf("Read(vol-1) = %q %v", data, err)
+	}
+}
+
+// TestPoolWriteRecordsAckWait covers the ack-wait plumbing: the duration the
+// server blocked the write must reach the caller and the configured
+// Recorder instead of being discarded at the pool layer.
+func TestPoolWriteRecordsAckWait(t *testing.T) {
+	net, _ := poolEnv(t, 1)
+	rec := metrics.NewRecorder()
+	p, err := client.NewPool(net, client.Config{ID: "writer", Skew: 5 * time.Millisecond, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	p.AddRoute("vol-0", "s0:1")
+
+	// A second pool holds a lease on the object, so the write below must
+	// actually wait for an invalidation acknowledgment.
+	reader := newPool(t, net, 1)
+	if _, err := reader.Read("vol-0", "obj"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, waited, err := p.Write("vol-0", "obj", []byte("updated"))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if waited <= 0 {
+		t.Errorf("waited = %v, want > 0 (a lease holder had to ack)", waited)
+	}
+	writes, mean, max := rec.WriteStats()
+	if writes != 1 {
+		t.Fatalf("recorder writes = %d, want 1", writes)
+	}
+	if mean <= 0 || max < waited {
+		t.Errorf("recorder stats mean=%v max=%v, want mean > 0 and max >= waited %v", mean, max, waited)
 	}
 }
 

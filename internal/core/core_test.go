@@ -459,6 +459,48 @@ func TestStatsCountsOnlyValidLeases(t *testing.T) {
 	}
 }
 
+func TestStatsAddAggregatesShards(t *testing.T) {
+	a := Stats{Volumes: 1, Objects: 2, ObjectLeases: 3, VolumeLeases: 1,
+		PendingInvalidation: 4, InactiveClients: 1, UnreachableClients: 2,
+		StateBytes: 11 * RecordBytes}
+	b := Stats{Volumes: 2, Objects: 1, ObjectLeases: 1, VolumeLeases: 2,
+		PendingInvalidation: 0, InactiveClients: 3, UnreachableClients: 0,
+		StateBytes: 6 * RecordBytes}
+	a.Add(b)
+	want := Stats{Volumes: 3, Objects: 3, ObjectLeases: 4, VolumeLeases: 3,
+		PendingInvalidation: 4, InactiveClients: 4, UnreachableClients: 2,
+		StateBytes: 17 * RecordBytes}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+	// Aggregating per-volume tables must equal one table holding both
+	// volumes: the sharded server's Stats() relies on this.
+	t1 := newTable(t, eagerCfg())
+	mustGrant(t, t1, at(0), "c1", "v")
+	mustObj(t, t1, at(0), "c1", "a")
+	t2, err := NewTable(eagerCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.CreateVolume("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.CreateObject("w", "b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.RequestVolumeLease(at(0), "c2", "w", 0); err != nil {
+		t.Fatal(err)
+	}
+	agg := t1.Stats(at(1))
+	agg.Add(t2.Stats(at(1)))
+	if agg.Volumes != 2 || agg.Objects != 3 || agg.VolumeLeases != 2 || agg.ObjectLeases != 1 {
+		t.Errorf("aggregated stats = %+v", agg)
+	}
+	if want := int64(3 * RecordBytes); agg.StateBytes != want {
+		t.Errorf("aggregated state bytes = %d, want %d", agg.StateBytes, want)
+	}
+}
+
 func TestRecoverBumpsEpochAndFencesWrites(t *testing.T) {
 	tb := newTable(t, eagerCfg())
 	mustGrant(t, tb, at(0), "c1", "v")

@@ -505,6 +505,20 @@ type Stats struct {
 // Figure 6/7 accounting.
 const RecordBytes = 16
 
+// Add accumulates other into s. Servers that shard their consistency state
+// across several tables (one per volume) use it to aggregate a server-wide
+// snapshot; every field, including StateBytes, sums linearly.
+func (s *Stats) Add(other Stats) {
+	s.Volumes += other.Volumes
+	s.Objects += other.Objects
+	s.ObjectLeases += other.ObjectLeases
+	s.VolumeLeases += other.VolumeLeases
+	s.PendingInvalidation += other.PendingInvalidation
+	s.InactiveClients += other.InactiveClients
+	s.UnreachableClients += other.UnreachableClients
+	s.StateBytes += other.StateBytes
+}
+
 // Stats computes current counts; only leases valid at now are counted.
 func (t *Table) Stats(now time.Time) Stats {
 	var s Stats

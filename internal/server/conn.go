@@ -22,6 +22,67 @@ type clientConn struct {
 	// renewals tracks in-flight volume-renewal conversations by sequence
 	// number.
 	renewals map[uint64]*renewal
+
+	// invalMu guards invalQ, the outbound invalidation queue. Writes
+	// enqueue object ids here; the connection's flusher goroutine drains
+	// whatever has accumulated into one multi-object wire.Invalidate, so a
+	// burst of writes against this client's cache coalesces into a single
+	// message.
+	invalMu sync.Mutex
+	invalQ  []core.ObjectID
+	// invalKick wakes the flusher (capacity 1: one pending kick covers any
+	// number of enqueues).
+	invalKick chan struct{}
+	// gone closes when the connection is torn down, stopping the flusher.
+	gone chan struct{}
+}
+
+// queueInvalidate appends oid to the outbound invalidation batch and wakes
+// the flusher.
+func (cc *clientConn) queueInvalidate(oid core.ObjectID) {
+	cc.invalMu.Lock()
+	cc.invalQ = append(cc.invalQ, oid)
+	cc.invalMu.Unlock()
+	select {
+	case cc.invalKick <- struct{}{}:
+	default: // a kick is already pending
+	}
+}
+
+// invalFlusher drains the connection's invalidation queue, sending each
+// batch as one multi-object Invalidate. Runs as a per-connection goroutine.
+func (s *Server) invalFlusher(cc *clientConn) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-cc.invalKick:
+		case <-cc.gone:
+			return
+		case <-s.closed:
+			return
+		}
+		for {
+			cc.invalMu.Lock()
+			batch := cc.invalQ
+			cc.invalQ = nil
+			cc.invalMu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			if err := s.send(cc, metrics.MsgInvalidate, wire.Invalidate{Objects: batch}); err != nil {
+				// The write's ack wait times the client out and marks it
+				// unreachable; nothing more to do here.
+				s.logf("invalidate %v to %s failed: %v", batch, cc.id, err)
+				continue
+			}
+			if s.om != nil {
+				s.om.invalSent.Add(int64(len(batch)))
+			}
+			for _, oid := range batch {
+				s.emit(obs.Event{Type: obs.EvInvalSent, Client: cc.id, Object: oid})
+			}
+		}
+	}
 }
 
 // setRenewal installs conversation state for seq.
@@ -76,14 +137,22 @@ func (s *Server) serveConn(conn transport.Conn) {
 		_ = conn.Send(wire.Error{Code: wire.ErrCodeBadRequest, Msg: "expected Hello"})
 		return
 	}
-	cc := &clientConn{id: hello.Client, conn: conn, renewals: make(map[uint64]*renewal)}
+	cc := &clientConn{
+		id:        hello.Client,
+		conn:      conn,
+		renewals:  make(map[uint64]*renewal),
+		invalKick: make(chan struct{}, 1),
+		gone:      make(chan struct{}),
+	}
 
-	s.mu.Lock()
+	s.connMu.Lock()
 	if old, exists := s.conns[cc.id]; exists {
 		old.conn.Close()
 	}
 	s.conns[cc.id] = cc
-	s.mu.Unlock()
+	s.connMu.Unlock()
+	s.wg.Add(1)
+	go s.invalFlusher(cc)
 	if s.om != nil {
 		s.om.conns.Add(1)
 	}
@@ -91,11 +160,12 @@ func (s *Server) serveConn(conn transport.Conn) {
 	s.logf("client %s connected from %s", cc.id, conn.RemoteAddr())
 
 	defer func() {
-		s.mu.Lock()
+		close(cc.gone)
+		s.connMu.Lock()
 		if s.conns[cc.id] == cc {
 			delete(s.conns, cc.id)
 		}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		if s.om != nil {
 			s.om.conns.Add(-1)
 		}
@@ -146,9 +216,13 @@ func (s *Server) dispatch(cc *clientConn, m wire.Message) error {
 // grant waits for it on a separate goroutine so the connection's reader
 // stays free to process acknowledgments.
 func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
-	s.mu.Lock()
-	if guard, busy := s.writing[req.Object]; busy {
-		s.mu.Unlock()
+	sh, err := s.shardOfObject(req.Object)
+	if err != nil {
+		return s.sendErr(cc, req.Seq, err)
+	}
+	sh.mu.Lock()
+	if guard, busy := sh.writing[req.Object]; busy {
+		sh.mu.Unlock()
 		go func() {
 			select {
 			case <-guard:
@@ -158,14 +232,14 @@ func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
 		}()
 		return nil
 	}
-	g, err := s.table.GrantObjectLease(s.cfg.Clock.Now(), cc.id, req.Object, req.Version)
+	g, err := sh.table.GrantObjectLease(s.cfg.Clock.Now(), cc.id, req.Object, req.Version)
 	if err == nil {
-		// Emitted under s.mu so the audit model sees the grant strictly
-		// before any write that includes this client in its plan.
+		// Emitted under the shard mutex so the audit model sees the grant
+		// strictly before any write that includes this client in its plan.
 		s.emit(obs.Event{Type: obs.EvObjLeaseGrant, Client: cc.id, Object: g.Object,
 			Version: g.Version, Expire: g.Expire})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return s.sendErr(cc, req.Seq, err)
 	}
@@ -189,18 +263,24 @@ func (s *Server) handleReqObjLease(cc *clientConn, req wire.ReqObjLease) error {
 // handleReqVolLease starts a volume-renewal conversation (Figure 3's
 // "Server grants lease for volume v").
 //
-// A client with an invalidation acknowledgment outstanding must not be
-// granted a fresh volume lease yet: the pending write's wait bound was
-// computed from the leases that existed when it began, so a renewal issued
-// now could outlive that bound — the write would then complete while the
-// client still believes it may read. The grant waits (off the reader
-// goroutine) until the client acks or the write times it out; in the
-// latter case the client is unreachable and the renewal correctly becomes
-// a reconnection.
+// A client with an invalidation acknowledgment outstanding in this volume
+// must not be granted a fresh volume lease yet: the pending write's wait
+// bound was computed from the leases that existed when it began, so a
+// renewal issued now could outlive that bound — the write would then
+// complete while the client still believes it may read. The grant waits
+// (off the reader goroutine) until the client acks or the write times it
+// out; in the latter case the client is unreachable and the renewal
+// correctly becomes a reconnection. Only this shard's pending acks matter:
+// a write's bound is min(object expiry, volume expiry) over leases in its
+// own volume, which a renewal of a different volume cannot extend.
 func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
-	s.mu.Lock()
-	if chans := s.pendingAcksLocked(cc.id); len(chans) > 0 {
-		s.mu.Unlock()
+	sh := s.shardOf(req.Volume)
+	if sh == nil {
+		return s.sendErr(cc, req.Seq, fmt.Errorf("%w: %q", core.ErrNoSuchVolume, req.Volume))
+	}
+	sh.mu.Lock()
+	if chans := sh.pendingAcksLocked(cc.id); len(chans) > 0 {
+		sh.mu.Unlock()
 		go func() {
 			for _, ch := range chans {
 				select {
@@ -213,10 +293,11 @@ func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
 		}()
 		return nil
 	}
-	g, err := s.table.RequestVolumeLease(s.cfg.Clock.Now(), cc.id, req.Volume, req.Epoch)
+	g, err := sh.table.RequestVolumeLease(s.cfg.Clock.Now(), cc.id, req.Volume, req.Epoch)
 	if err == nil {
-		// Grant and reconnect events are emitted under s.mu so the audit
-		// model observes them ordered against write commits and acks.
+		// Grant and reconnect events are emitted under the shard mutex so
+		// the audit model observes them ordered against this volume's write
+		// commits and acks.
 		switch g.Status {
 		case core.VolumeGranted:
 			s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume,
@@ -225,7 +306,7 @@ func (s *Server) handleReqVolLease(cc *clientConn, req wire.ReqVolLease) error {
 			s.emit(obs.Event{Type: obs.EvReconnect, Client: cc.id, Volume: req.Volume, Epoch: g.Epoch})
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return s.sendErr(cc, req.Seq, err)
 	}
@@ -263,12 +344,17 @@ func (s *Server) handleRenewObjLeases(cc *clientConn, req wire.RenewObjLeases) e
 	if !ok || r.stage != stageAwaitHeld {
 		return s.sendErr(cc, req.Seq, errors.New("server: unexpected RenewObjLeases"))
 	}
-	s.mu.Lock()
+	sh := s.shardOf(req.Volume)
+	if sh == nil {
+		cc.takeRenewal(req.Seq, true)
+		return s.sendErr(cc, req.Seq, fmt.Errorf("%w: %q", core.ErrNoSuchVolume, req.Volume))
+	}
+	sh.mu.Lock()
 	// Renewing a lease on an object with a write in flight would hand out a
 	// lease at the old version; wait the write(s) out asynchronously.
 	for _, h := range req.Held {
-		if guard, busy := s.writing[h.Object]; busy {
-			s.mu.Unlock()
+		if guard, busy := sh.writing[h.Object]; busy {
+			sh.mu.Unlock()
 			go func() {
 				select {
 				case <-guard:
@@ -279,7 +365,7 @@ func (s *Server) handleRenewObjLeases(cc *clientConn, req wire.RenewObjLeases) e
 			return nil
 		}
 	}
-	res, err := s.table.HandleRenewObjLeases(s.cfg.Clock.Now(), cc.id, req.Volume, req.Held)
+	res, err := sh.table.HandleRenewObjLeases(s.cfg.Clock.Now(), cc.id, req.Volume, req.Held)
 	if err == nil {
 		// Renewed leases are fresh grants as far as the audit model is
 		// concerned: without these events it would judge post-reconnection
@@ -289,7 +375,7 @@ func (s *Server) handleRenewObjLeases(cc *clientConn, req wire.RenewObjLeases) e
 				Volume: req.Volume, Version: g.Version, Expire: g.Expire})
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		cc.takeRenewal(req.Seq, true)
 		return s.sendErr(cc, req.Seq, err)
@@ -313,15 +399,19 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 	if !ok {
 		return nil // stale ack after an error; harmless
 	}
+	sh := s.shardOf(r.volume)
+	if sh == nil {
+		return s.sendErr(cc, ack.Seq, fmt.Errorf("%w: %q", core.ErrNoSuchVolume, r.volume))
+	}
 	now := s.cfg.Clock.Now()
 	var (
 		g   core.VolumeGrant
 		err error
 	)
-	s.mu.Lock()
+	sh.mu.Lock()
 	switch r.stage {
 	case stageAwaitPendingAck:
-		g, err = s.table.ConfirmPendingDelivered(now, cc.id, r.volume)
+		g, err = sh.table.ConfirmPendingDelivered(now, cc.id, r.volume)
 		if err == nil {
 			for _, oid := range ack.Objects {
 				s.emit(obs.Event{Type: obs.EvInvalAcked, Client: cc.id, Object: oid, At: now})
@@ -330,7 +420,7 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 				N: len(ack.Objects), At: now})
 		}
 	case stageAwaitReconnectAck:
-		g, err = s.table.ConfirmReconnect(now, cc.id, r.volume)
+		g, err = sh.table.ConfirmReconnect(now, cc.id, r.volume)
 		if err == nil {
 			// The ack names the copies the client just discarded; without
 			// these events the audit model would keep judging writes against
@@ -346,7 +436,7 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 		s.emit(obs.Event{Type: obs.EvVolLeaseGrant, Client: cc.id, Volume: g.Volume,
 			Epoch: g.Epoch, Expire: g.Expire, At: now})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return s.sendErr(cc, ack.Seq, err)
 	}
@@ -358,36 +448,29 @@ func (s *Server) handleAckInvalidate(cc *clientConn, ack wire.AckInvalidate) err
 	})
 }
 
-// pendingAcksLocked returns the ack channels of writes still waiting on
-// this client. mu must be held.
-func (s *Server) pendingAcksLocked(client core.ClientID) []chan struct{} {
-	var chans []chan struct{}
-	for key, ch := range s.acks {
-		if key.client == client {
-			chans = append(chans, ch)
-		}
-	}
-	return chans
-}
-
 // completeWriteAcks resolves pending write waiters and releases the
-// clients' object leases.
+// clients' object leases. A batched invalidation may span volumes, so each
+// object is resolved through its own shard.
 func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID) {
 	now := s.cfg.Clock.Now()
-	s.mu.Lock()
 	for _, oid := range objects {
-		_ = s.table.AckWriteInvalidate(now, client, oid)
+		sh, err := s.shardOfObject(oid)
+		if err != nil {
+			continue // object removed or never existed; nothing to release
+		}
+		sh.mu.Lock()
+		_ = sh.table.AckWriteInvalidate(now, client, oid)
 		// Emit before close(ch): the channel close releases the write
 		// goroutine, and the audit model must see the ack before the
 		// write's commit event.
 		s.emit(obs.Event{Type: obs.EvInvalAcked, Client: client, Object: oid, At: now})
 		key := ackKey{client: client, object: oid}
-		if ch, ok := s.acks[key]; ok {
+		if ch, ok := sh.acks[key]; ok {
 			close(ch)
-			delete(s.acks, key)
+			delete(sh.acks, key)
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if s.om != nil {
 		s.om.invalAcked.Add(int64(len(objects)))
 	}

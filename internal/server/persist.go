@@ -84,17 +84,16 @@ func (s *Server) initPersistence() error {
 	s.prevEpochs = st.Epochs
 	if st.VolumeLeaseNanos > 0 {
 		// A previous incarnation existed: its leases must drain first.
-		fence := s.cfg.Clock.Now().Add(time.Duration(st.VolumeLeaseNanos))
-		s.mu.Lock()
-		s.table.FenceWrites(fence)
-		s.mu.Unlock()
-		s.logf("previous incarnation detected: writes fenced until %v", fence)
+		// Shards do not exist yet (initPersistence runs before any
+		// AddVolume); the fence is applied to each shard at creation.
+		s.initFence = s.cfg.Clock.Now().Add(time.Duration(st.VolumeLeaseNanos))
+		s.logf("previous incarnation detected: writes fenced until %v", s.initFence)
 	}
 	return s.persistEpochs()
 }
 
-// persistEpochs snapshots the current epochs and lease duration. mu must
-// NOT be held.
+// persistEpochs snapshots the current epochs and lease duration. No shard
+// mutex may be held.
 func (s *Server) persistEpochs() error {
 	if s.cfg.StateDir == "" {
 		return nil
@@ -103,12 +102,12 @@ func (s *Server) persistEpochs() error {
 		Epochs:           make(map[core.VolumeID]core.Epoch),
 		VolumeLeaseNanos: int64(s.cfg.Table.VolumeLease),
 	}
-	s.mu.Lock()
-	for _, vid := range s.table.Volumes() {
-		if e, err := s.table.VolumeEpoch(vid); err == nil {
-			st.Epochs[vid] = e
+	for _, sh := range s.allShards() {
+		sh.mu.Lock()
+		if e, err := sh.table.VolumeEpoch(sh.vol); err == nil {
+			st.Epochs[sh.vol] = e
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	return saveState(s.cfg.StateDir, st)
 }

@@ -1,19 +1,45 @@
-// Package server implements the networked volume-lease server: it drives a
-// core.Table (the paper's Figures 2 and 3) over a transport.Network, serving
-// lease requests from many concurrent clients, running the blocking
+// Package server implements the networked volume-lease server: it drives
+// core.Table state (the paper's Figures 2 and 3) over a transport.Network,
+// serving lease requests from many concurrent clients, running the blocking
 // write/invalidate/acknowledge path, the delayed-invalidation machinery, the
 // reconnection protocol for unreachable clients, and epoch-based crash
 // recovery.
 //
-// One goroutine per client connection reads requests; a single mutex guards
-// the consistency table (operations on it are short and in-memory, matching
-// the paper's single-threaded event processing); writes block outside the
-// lock while collecting acknowledgments.
+// # Concurrency model
+//
+// The consistency state is sharded per volume: each volume owns a shard with
+// its own mutex and its own single-volume core.Table (see shard.go). The
+// paper's server processes events single-threaded; volume leases make that
+// serialization necessary only *within* a volume — a write's ack bound
+// min(t, t_v) involves leases on the written object and its volume, never
+// another volume — so shards proceed independently and a write to volume A
+// never blocks a write to volume B.
+//
+// Within a shard, writes are serialized per object by the shard's writing
+// map: a write installs a guard channel for its object, and both later
+// writers and lease grants on that object wait for the guard. Writes to
+// distinct objects — even in the same volume — hold the shard mutex only for
+// the short in-memory table transitions and collect their invalidation
+// acknowledgments concurrently, outside any lock.
+//
+// Invalidation fan-out is batched per connection: writes enqueue object ids
+// on the target connection's outbound queue, and a per-connection flusher
+// goroutine coalesces whatever has accumulated into a single multi-object
+// wire.Invalidate. A burst of writes touching one client's cache costs one
+// message, not one per write.
+//
+// One goroutine per client connection reads requests; the immutable
+// volume→shard and object→shard indexes are read lock-free and rebuilt
+// copy-on-write under topoMu by AddVolume/AddObject. Lock order:
+// shard.mu → connMu (never the reverse); multi-shard operations (Recover,
+// Stats) take shard mutexes in sorted volume order.
 package server
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -109,24 +135,27 @@ type Server struct {
 	cfg      Config
 	listener transport.Listener
 
-	mu    sync.Mutex
-	table *core.Table
-	conns map[core.ClientID]*clientConn
-	acks  map[ackKey]chan struct{}
-	// writing guards each object with an in-flight write: lease grants on
-	// it must wait for the write to finish, or a client could receive old
-	// data with a fresh lease after the write's invalidation set was
-	// already computed (a stale-read hole). The channel closes when the
-	// write completes.
-	writing map[core.ObjectID]chan struct{}
+	// vols is the immutable volume→shard index, swapped copy-on-write
+	// under topoMu; hot paths resolve a shard with one atomic load.
+	vols atomic.Pointer[map[core.VolumeID]*shard]
+	// objs maps object id → owning shard (object ids are unique across
+	// volumes, as in core.Table). sync.Map: lock-free reads, rare writes.
+	objs sync.Map
 
-	// writeMu serializes Write calls (one write at a time, like the
-	// paper's server).
-	writeMu sync.Mutex
+	// topoMu serializes topology changes: AddVolume, AddObject, and the
+	// copy-on-write swaps of vols.
+	topoMu sync.Mutex
+
+	// connMu guards conns. Lock order: shard.mu → connMu, never reverse.
+	connMu sync.Mutex
+	conns  map[core.ClientID]*clientConn
 
 	// prevEpochs holds the previous incarnation's persisted epochs; new
 	// volumes resume one past them.
 	prevEpochs map[core.VolumeID]core.Epoch
+	// initFence, when set, is the write fence inherited from a previous
+	// incarnation; it is applied to every shard created by AddVolume.
+	initFence time.Time
 
 	// om holds pre-resolved observability metrics; nil when not wired.
 	om *srvMetrics
@@ -141,11 +170,15 @@ type ackKey struct {
 	object core.ObjectID
 }
 
+// errClosed is returned by writes interrupted by server shutdown.
+var errClosed = errors.New("server: closed")
+
 // New builds and starts a server listening on cfg.Addr.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
-	table, err := core.NewTable(cfg.Table)
-	if err != nil {
+	// Validate the table configuration up front, exactly as a monolithic
+	// table would; per-volume shard tables share the validated config.
+	if _, err := core.NewTable(cfg.Table); err != nil {
 		return nil, err
 	}
 	if cfg.Net == nil {
@@ -158,13 +191,12 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		listener:   l,
-		table:      table,
 		conns:      make(map[core.ClientID]*clientConn),
-		acks:       make(map[ackKey]chan struct{}),
-		writing:    make(map[core.ObjectID]chan struct{}),
 		prevEpochs: make(map[core.VolumeID]core.Epoch),
 		closed:     make(chan struct{}),
 	}
+	empty := make(map[core.VolumeID]*shard)
+	s.vols.Store(&empty)
 	if cfg.StateDir != "" {
 		if err := s.initPersistence(); err != nil {
 			l.Close()
@@ -186,11 +218,11 @@ func (s *Server) Close() error {
 	s.closeMu.Do(func() {
 		close(s.closed)
 		s.listener.Close()
-		s.mu.Lock()
+		s.connMu.Lock()
 		for _, cc := range s.conns {
 			cc.conn.Close()
 		}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 	})
 	s.wg.Wait()
 	return nil
@@ -203,69 +235,119 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// AddVolume registers a volume. With StateDir configured, a volume known
-// to a previous incarnation resumes at its persisted epoch + 1, so clients
-// holding pre-crash leases are forced through the reconnection protocol.
+// AddVolume registers a volume as a new shard. With StateDir configured, a
+// volume known to a previous incarnation resumes at its persisted epoch + 1,
+// so clients holding pre-crash leases are forced through the reconnection
+// protocol.
 func (s *Server) AddVolume(vid core.VolumeID) error {
-	s.mu.Lock()
+	s.topoMu.Lock()
+	cur := *s.vols.Load()
+	if _, exists := cur[vid]; exists {
+		s.topoMu.Unlock()
+		return fmt.Errorf("%w: volume %q", core.ErrDuplicate, vid)
+	}
 	epoch := core.Epoch(0)
 	if prev, ok := s.prevEpochs[vid]; ok {
 		epoch = prev + 1
 	}
-	err := s.table.CreateVolumeAt(vid, epoch)
-	s.mu.Unlock()
+	sh, err := newShard(s.cfg.Table, vid, epoch, s.initFence)
 	if err != nil {
+		s.topoMu.Unlock()
 		return err
 	}
+	next := make(map[core.VolumeID]*shard, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[vid] = sh
+	s.vols.Store(&next)
+	s.topoMu.Unlock()
 	s.registerVolumeObs(vid)
 	return s.persistEpochs()
 }
 
 // AddObject registers an object with initial contents.
 func (s *Server) AddObject(vid core.VolumeID, oid core.ObjectID, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.table.CreateObject(vid, oid, data)
+	s.topoMu.Lock()
+	defer s.topoMu.Unlock()
+	sh := s.shardOf(vid)
+	if sh == nil {
+		return fmt.Errorf("%w: %q", core.ErrNoSuchVolume, vid)
+	}
+	// Object ids are unique server-wide; the per-shard table only checks
+	// its own volume, so the cross-volume check lives here.
+	if _, taken := s.objs.Load(oid); taken {
+		return fmt.Errorf("%w: object %q", core.ErrDuplicate, oid)
+	}
+	sh.mu.Lock()
+	err := sh.table.CreateObject(vid, oid, data)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.objs.Store(oid, sh)
+	return nil
 }
 
-// Stats snapshots the consistency-state statistics.
+// Stats snapshots the consistency-state statistics, aggregated across
+// shards. Each shard's snapshot is internally consistent; the aggregate is
+// not a single instant (shards are read one at a time).
 func (s *Server) Stats() core.Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.table.Stats(s.cfg.Clock.Now())
+	now := s.cfg.Clock.Now()
+	var agg core.Stats
+	for _, sh := range s.allShards() {
+		sh.mu.Lock()
+		agg.Add(sh.table.Stats(now))
+		sh.mu.Unlock()
+	}
+	return agg
 }
 
 // Epoch reports a volume's current epoch.
 func (s *Server) Epoch(vid core.VolumeID) (core.Epoch, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.table.VolumeEpoch(vid)
+	sh := s.shardOf(vid)
+	if sh == nil {
+		return 0, fmt.Errorf("%w: %q", core.ErrNoSuchVolume, vid)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.table.VolumeEpoch(vid)
 }
 
 // Recover simulates a crash-reboot (Section 3.1.2): every connection is
 // dropped, all lease state is lost, epochs are bumped, and writes are fenced
-// for one volume-lease duration.
+// for one volume-lease duration. All shard mutexes are held together (in
+// sorted volume order) so no grant at the old epoch can interleave with the
+// bump.
 func (s *Server) Recover() {
-	s.mu.Lock()
+	now := s.cfg.Clock.Now()
+	shards := s.allShards()
+	for _, sh := range shards {
+		sh.mu.Lock()
+	}
+	s.connMu.Lock()
 	for id, cc := range s.conns {
 		cc.conn.Close()
 		delete(s.conns, id)
 	}
-	s.table.Recover(s.cfg.Clock.Now())
-	fence := s.table.WriteFence()
-	volumes := s.table.Volumes()
-	// Per-volume epoch events, emitted under s.mu so the audit model resets
-	// its reachability bookkeeping before any post-recovery grant.
-	for _, vid := range volumes {
-		ep, err := s.table.VolumeEpoch(vid)
-		if err != nil {
-			continue
+	s.connMu.Unlock()
+	var fence time.Time
+	for _, sh := range shards {
+		sh.table.Recover(now)
+		if f := sh.table.WriteFence(); f.After(fence) {
+			fence = f
 		}
-		s.emit(obs.Event{Type: obs.EvEpochBump, Volume: vid, Epoch: ep})
+		// Epoch events are emitted under the shard mutex so the audit model
+		// resets its reachability bookkeeping before any post-recovery grant.
+		if ep, err := sh.table.VolumeEpoch(sh.vol); err == nil {
+			s.emit(obs.Event{Type: obs.EvEpochBump, Volume: sh.vol, Epoch: ep})
+		}
 	}
-	s.mu.Unlock()
+	for i := len(shards) - 1; i >= 0; i-- {
+		shards[i].mu.Unlock()
+	}
 	if s.om != nil {
-		s.om.epochBumps.Add(int64(len(volumes)))
+		s.om.epochBumps.Add(int64(len(shards)))
 	}
 	s.logf("recovered: epochs bumped, writes fenced until %v", fence)
 	if err := s.persistEpochs(); err != nil {
@@ -276,9 +358,13 @@ func (s *Server) Recover() {
 // Read returns an object's current version and data directly from the
 // server (a local, always-consistent read).
 func (s *Server) Read(oid core.ObjectID) (core.Version, []byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.table.Read(oid)
+	sh, err := s.shardOfObject(oid)
+	if err != nil {
+		return 0, nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.table.Read(oid)
 }
 
 // acceptLoop admits client connections.
@@ -301,7 +387,7 @@ func (s *Server) acceptLoop() {
 }
 
 // sweepLoop periodically expires leases and applies the inactive-discard
-// policy.
+// policy, one shard at a time.
 func (s *Server) sweepLoop() {
 	defer s.wg.Done()
 	for {
@@ -310,20 +396,25 @@ func (s *Server) sweepLoop() {
 			return
 		case <-s.cfg.Clock.After(s.cfg.SweepInterval):
 			now := s.cfg.Clock.Now()
-			s.mu.Lock()
-			swept, discarded := s.table.Sweep(now)
-			// Discard transitions are emitted under s.mu so the audit model
-			// orders them against grants: a client the sweep just dropped
-			// must be Unreachable before any later write or reconnection.
-			for _, d := range discarded {
-				s.emit(obs.Event{Type: obs.EvUnreachable, Client: d.Client, Volume: d.Volume, At: now})
-			}
-			s.mu.Unlock()
-			if swept > 0 {
-				if s.om != nil {
-					s.om.expired.Add(int64(swept))
+			total := 0
+			for _, sh := range s.allShards() {
+				sh.mu.Lock()
+				swept, discarded := sh.table.Sweep(now)
+				// Discard transitions are emitted under the shard mutex so
+				// the audit model orders them against grants: a client the
+				// sweep just dropped must be Unreachable before any later
+				// write or reconnection in this volume.
+				for _, d := range discarded {
+					s.emit(obs.Event{Type: obs.EvUnreachable, Client: d.Client, Volume: d.Volume, At: now})
 				}
-				s.emit(obs.Event{Type: obs.EvLeaseExpire, N: swept})
+				sh.mu.Unlock()
+				total += swept
+			}
+			if total > 0 {
+				if s.om != nil {
+					s.om.expired.Add(int64(total))
+				}
+				s.emit(obs.Event{Type: obs.EvLeaseExpire, N: total})
 			}
 		}
 	}
@@ -367,7 +458,11 @@ func classOf(m wire.Message) metrics.MsgClass {
 
 // VolumeStats snapshots the consistency-state statistics of one volume.
 func (s *Server) VolumeStats(vid core.VolumeID) (core.Stats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.table.VolumeStats(s.cfg.Clock.Now(), vid)
+	sh := s.shardOf(vid)
+	if sh == nil {
+		return core.Stats{}, fmt.Errorf("%w: %q", core.ErrNoSuchVolume, vid)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.table.VolumeStats(s.cfg.Clock.Now(), vid)
 }

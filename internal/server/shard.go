@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// shard is the unit of consistency-state locking: one volume, its own
+// core.Table, and the per-object write bookkeeping for that volume. The
+// protocol needs no ordering across volumes — a volume lease covers exactly
+// one volume and a write's ack bound min(t, t_v) only involves leases on the
+// written object and its volume — so each shard can run its lock-step
+// independently of every other.
+type shard struct {
+	vol core.VolumeID
+
+	// mu guards everything below. Operations under it are short and
+	// in-memory (the paper's single-threaded event processing, now per
+	// volume); writes block outside the lock while collecting
+	// acknowledgments. Lock order: shard.mu may be held while taking
+	// Server.connMu, never the reverse.
+	mu sync.Mutex
+	// table holds this volume's consistency state (exactly one volume per
+	// table).
+	table *core.Table
+	// acks maps an in-flight write's (client, object) pair to the channel
+	// closed when that client acknowledges the invalidation.
+	acks map[ackKey]chan struct{}
+	// writing guards each object with an in-flight write: lease grants on
+	// it must wait for the write to finish, or a client could receive old
+	// data with a fresh lease after the write's invalidation set was
+	// already computed (a stale-read hole). The channel closes when the
+	// write completes. It also serializes writes to one object: a second
+	// writer waits for the guard before installing its own.
+	writing map[core.ObjectID]chan struct{}
+}
+
+// pendingAcksLocked returns the ack channels of this shard's writes still
+// waiting on the client. sh.mu must be held.
+func (sh *shard) pendingAcksLocked(client core.ClientID) []chan struct{} {
+	var chans []chan struct{}
+	for key, ch := range sh.acks {
+		if key.client == client {
+			chans = append(chans, ch)
+		}
+	}
+	return chans
+}
+
+// newShard builds a shard for one volume at the given epoch. The table
+// config was validated when the server started, so NewTable cannot fail
+// here except for a config mutated after start (a programming error).
+func newShard(cfg core.Config, vid core.VolumeID, epoch core.Epoch, fence time.Time) (*shard, error) {
+	table, err := core.NewTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := table.CreateVolumeAt(vid, epoch); err != nil {
+		return nil, err
+	}
+	if !fence.IsZero() {
+		table.FenceWrites(fence)
+	}
+	return &shard{
+		vol:     vid,
+		table:   table,
+		acks:    make(map[ackKey]chan struct{}),
+		writing: make(map[core.ObjectID]chan struct{}),
+	}, nil
+}
+
+// shardOf resolves a volume's shard with one atomic load, no lock.
+func (s *Server) shardOf(vid core.VolumeID) *shard {
+	return (*s.vols.Load())[vid]
+}
+
+// shardOfObject resolves an object's shard with one sync.Map load, no lock.
+// Object ids are unique across the server's volumes (as in core.Table).
+func (s *Server) shardOfObject(oid core.ObjectID) (*shard, error) {
+	if v, ok := s.objs.Load(oid); ok {
+		return v.(*shard), nil
+	}
+	return nil, fmt.Errorf("%w: %q", core.ErrNoSuchObject, oid)
+}
+
+// allShards snapshots every shard, sorted by volume id. The order is the
+// canonical multi-shard lock order (Recover locks all shards at once).
+func (s *Server) allShards() []*shard {
+	m := *s.vols.Load()
+	out := make([]*shard, 0, len(m))
+	for _, sh := range m {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].vol < out[j].vol })
+	return out
+}

@@ -4,9 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/wire"
 )
 
 // Write modifies an object, running Figure 3's "Server writes object o":
@@ -15,13 +13,16 @@ import (
 // non-responders to the Unreachable set, then install the new data and bump
 // the version. It returns the new version and how long the write waited.
 //
-// Writes are serialized: the paper's server processes one write at a time,
-// and concurrent writes to one object would race on the ack registry.
+// Writes are serialized per object, not globally: two writes to one object
+// run back to back (the second waits for the first's guard channel), while
+// writes to distinct objects — in the same volume or different ones —
+// collect their acknowledgments concurrently. The shard mutex is held only
+// for the in-memory table transitions, never across the ack wait.
 func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Duration, error) {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-
-	start := s.cfg.Clock.Now()
+	sh, err := s.shardOfObject(oid)
+	if err != nil {
+		return 0, 0, err
+	}
 
 	type waiter struct {
 		client core.ClientID
@@ -29,28 +30,48 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		bound  time.Time
 	}
 
-	s.mu.Lock()
-	plan, err := s.table.BeginWrite(start, oid)
+	// Acquire the per-object write slot: if another write to oid is in
+	// flight, wait for its guard to close, then retry.
+	var (
+		start   time.Time
+		plan    core.WritePlan
+		guard   chan struct{}
+		waiters []waiter
+	)
+	for {
+		sh.mu.Lock()
+		prev, busy := sh.writing[oid]
+		if !busy {
+			break // sh.mu stays held
+		}
+		sh.mu.Unlock()
+		select {
+		case <-prev:
+		case <-s.closed:
+			return 0, 0, errClosed
+		}
+	}
+	start = s.cfg.Clock.Now()
+	plan, err = sh.table.BeginWrite(start, oid)
 	if err != nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return 0, 0, err
 	}
-	// Block lease grants on this object until the write completes, so no
-	// client can acquire a fresh lease on the old data after the
-	// invalidation set was computed.
-	guard := make(chan struct{})
-	s.writing[oid] = guard
-	waiters := make([]waiter, 0, len(plan.Notify))
-	targets := make([]*clientConn, 0, len(plan.Notify))
+	// Block lease grants on this object (and later writes to it) until the
+	// write completes, so no client can acquire a fresh lease on the old
+	// data after the invalidation set was computed.
+	guard = make(chan struct{})
+	sh.writing[oid] = guard
+	waiters = make([]waiter, 0, len(plan.Notify))
 	for _, inv := range plan.Notify {
 		key := ackKey{client: inv.Client, object: oid}
 		ch := make(chan struct{})
-		s.acks[key] = ch
+		sh.acks[key] = ch
 		waiters = append(waiters, waiter{client: inv.Client, ch: ch, bound: inv.LeaseExpire})
-		targets = append(targets, s.conns[inv.Client]) // nil if not connected
 	}
-	// Delayed-mode side effects are emitted under s.mu so the audit model
-	// observes them strictly ordered against lease grants and ack events.
+	// Delayed-mode side effects are emitted under the shard mutex so the
+	// audit model observes them strictly ordered against this volume's
+	// lease grants and ack events.
 	for _, q := range plan.Queued {
 		s.emit(obs.Event{Type: obs.EvInvalQueued, Client: q.Client, Object: oid,
 			Volume: plan.Volume, Expire: q.Since, At: start})
@@ -59,7 +80,7 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		s.emit(obs.Event{Type: obs.EvUnreachable, Client: c, Object: oid,
 			Volume: plan.Volume, At: start})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 
 	if s.om != nil {
 		s.om.writes.Inc()
@@ -68,21 +89,22 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		s.emit(obs.Event{Type: obs.EvWriteBlocked, Object: oid, N: len(waiters), At: start})
 	}
 
-	// Send the invalidations outside the table lock.
-	inval := wire.Invalidate{Objects: []core.ObjectID{oid}}
+	// Hand the invalidations to each target connection's outbound queue;
+	// the per-connection flusher coalesces queued objects into one
+	// multi-object Invalidate. The ack channels above are already
+	// registered, so an ack can never race ahead of its registration.
+	s.connMu.Lock()
+	targets := make([]*clientConn, len(waiters))
+	for i, w := range waiters {
+		targets[i] = s.conns[w.client] // nil if not connected
+	}
+	s.connMu.Unlock()
 	for i, cc := range targets {
 		if cc == nil {
 			s.logf("write %s: client %s not connected; waiting out its lease", oid, waiters[i].client)
 			continue
 		}
-		if err := s.send(cc, metrics.MsgInvalidate, inval); err != nil {
-			s.logf("write %s: invalidate to %s failed: %v", oid, cc.id, err)
-			continue
-		}
-		if s.om != nil {
-			s.om.invalSent.Inc()
-		}
-		s.emit(obs.Event{Type: obs.EvInvalSent, Client: cc.id, Object: oid})
+		cc.queueInvalidate(oid)
 	}
 
 	// Figure 3: T_f = min(volume.expire, object.expire), floored at
@@ -103,7 +125,16 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 
 	var timeout <-chan time.Time
 	if len(waiters) > 0 {
-		timeout = s.cfg.Clock.After(deadline.Sub(start))
+		// Arm the timer with the time remaining from *now*, not from start:
+		// the fan-out above takes real time, and measuring from start would
+		// silently stretch the wait past the min(t, t_v) lease bound by
+		// however long the sends took (the client-visible symptom was
+		// writes blocking well past the bound on a slow network).
+		remaining := deadline.Sub(s.cfg.Clock.Now())
+		if remaining < 0 {
+			remaining = 0
+		}
+		timeout = s.cfg.Clock.After(remaining)
 	}
 	expired := false
 	for _, w := range waiters {
@@ -123,20 +154,20 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 	// entries.
 	var unacked []core.ClientID
 	now := s.cfg.Clock.Now()
-	s.mu.Lock()
+	sh.mu.Lock()
 	for _, w := range waiters {
 		key := ackKey{client: w.client, object: oid}
-		if ch, pending := s.acks[key]; pending {
+		if ch, pending := sh.acks[key]; pending {
 			// Close so any volume-grant guard waiting on this client's
 			// acknowledgment unblocks (and then observes the client's new
 			// unreachable standing).
 			close(ch)
-			delete(s.acks, key)
+			delete(sh.acks, key)
 			unacked = append(unacked, w.client)
 		}
 	}
-	version, err := s.table.FinishWrite(now, oid, data, unacked)
-	delete(s.writing, oid)
+	version, err := sh.table.FinishWrite(now, oid, data, unacked)
+	delete(sh.writing, oid)
 	close(guard)
 	if err == nil {
 		// Unreachable transitions precede the commit event so the audit
@@ -148,7 +179,7 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		s.emit(obs.Event{Type: obs.EvWriteApplied, Object: oid, Volume: plan.Volume,
 			Version: version, N: len(unacked), At: now})
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if err != nil {
 		return 0, 0, err
 	}
