@@ -34,9 +34,19 @@ bench:
 # Machine-readable benchmark snapshot: ns/op and allocs/op for every
 # benchmark, as JSON (format documented in EXPERIMENTS.md). Includes
 # BenchmarkConcurrentWrites, whose writes/s metric across 1/4/16 volumes is
-# the sharded write path's scaling curve.
+# the sharded write path's scaling curve. Parameterized so CI can run a
+# short preset: `make bench-json BENCH_PKGS=./internal/obs BENCH_FLAGS=...`.
+BENCH_OUT   ?= BENCH_PR4.json
+BENCH_PKGS  ?= ./...
+BENCH_FLAGS ?= -bench=. -benchmem
 bench-json:
-	$(GO) test -run '^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	$(GO) test -run '^$$' $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# Gate: the instrumented hot paths must stay allocation-free when tracing
+# is disabled (BenchmarkEmitDisabled / BenchmarkSpanDisabled report 0 B/op).
+bench-disabled:
+	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span)Disabled' -benchmem ./internal/obs | tee /dev/stderr | \
+		awk '/Disabled/ && ($$(NF-1) != 0 || $$(NF-3) != 0) { bad = 1 } END { exit bad }'
 
 fuzz:
 	$(GO) test ./internal/wire -run Fuzz -fuzz=FuzzDecode -fuzztime=30s

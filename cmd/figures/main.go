@@ -10,15 +10,28 @@
 //	figures -fig 5                  # just Figure 5's series
 //	figures -table1                 # Table 1's analytic cost model
 //	figures -callouts               # Section 5.1's headline percentages
+//
+// -live renders a RUNNING node's load timeline instead of the simulator: it
+// reads a /debug/load dump (URL or file saved from one) and emits the same
+// cumulative 1s-period load histogram the simulator produces for Figures
+// 8/9, so live and simulated burst curves are directly comparable:
+//
+//	figures -live http://127.0.0.1:7401/debug/load -out results/
+//	figures -live dump.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/loadtl"
 )
 
 func main() {
@@ -36,6 +49,7 @@ func run() error {
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation sweeps (d, t_v, locality)")
 	outDir := flag.String("out", ".", "directory for TSV output")
 	scaleName := flag.String("scale", "small", "workload scale: small or full")
+	live := flag.String("live", "", "render a live /debug/load dump (URL or file) as a cumulative load histogram instead of simulating")
 	flag.Parse()
 
 	scale := bench.ScaleSmall
@@ -45,6 +59,12 @@ func run() error {
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 
+	if *live != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		return emitLive(*live, *outDir)
+	}
 	if !*all && *fig == 0 && !*table1 && !*callouts && !*ablations {
 		*all = true
 	}
@@ -76,6 +96,77 @@ func run() error {
 	}
 	if *ablations || *all {
 		printAblations(scale)
+	}
+	return nil
+}
+
+// fetchDump loads a loadtl dump from a /debug/load URL or a file holding
+// one.
+func fetchDump(src string) (loadtl.Dump, error) {
+	var (
+		raw []byte
+		err error
+	)
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, herr := http.Get(src)
+		if herr != nil {
+			return loadtl.Dump{}, herr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return loadtl.Dump{}, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		raw, err = io.ReadAll(resp.Body)
+	} else {
+		raw, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return loadtl.Dump{}, err
+	}
+	var d loadtl.Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return loadtl.Dump{}, fmt.Errorf("decode %s: %w (expected a /debug/load dump)", src, err)
+	}
+	return d, nil
+}
+
+// emitLive turns a live load-timeline dump into figlive.tsv, the same
+// cumulative 1s-period histogram shape as the simulated Figures 8/9.
+func emitLive(src, outDir string) error {
+	d, err := fetchDump(src)
+	if err != nil {
+		return err
+	}
+	loads, periods := d.Cumulative()
+	if len(loads) == 0 {
+		return fmt.Errorf("%s: timeline has no busy seconds (drive some traffic first)", src)
+	}
+	label := "live"
+	if d.Node != "" {
+		label = "live-" + d.Node
+	}
+	s := bench.Series{Label: label}
+	for i := range loads {
+		s.X = append(s.X, float64(loads[i]))
+		s.Y = append(s.Y, float64(periods[i]))
+	}
+
+	path := filepath.Join(outDir, "figlive.tsv")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := bench.WriteTSV(out, []bench.Series{s}); err != nil {
+		return err
+	}
+
+	fmt.Printf("== Live load: cumulative 1s-period histogram for %q -> %s ==\n", d.Node, path)
+	fmt.Printf("   window=%ds busy=%d idle=%d peak=%d msg/s mean=%.1f msg/s burst-ratio=%.1f\n",
+		d.Burst.WindowSeconds, d.Burst.BusySeconds, d.Burst.IdleSeconds,
+		d.Burst.Peak, d.Burst.Mean, d.Burst.Ratio)
+	for i := range loads {
+		fmt.Printf("   load>=%-6d %d period(s)\n", loads[i], periods[i])
 	}
 	return nil
 }

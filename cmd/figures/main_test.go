@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/loadtl"
 )
 
 func TestEmitFigureWritesTSV(t *testing.T) {
@@ -43,5 +45,67 @@ func TestEmitFigureUnknownNumber(t *testing.T) {
 func TestPrintTable1(t *testing.T) {
 	if err := printTable1(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEmitLive(t *testing.T) {
+	dir := t.TempDir()
+	dump := loadtl.Dump{
+		Node:          "srv-live",
+		WindowSeconds: 60,
+		Seconds: []loadtl.Second{
+			{Unix: 100, Msgs: 9}, {Unix: 101, Msgs: 2},
+			{Unix: 102, Msgs: 9}, {Unix: 103, Msgs: 1},
+		},
+		Burst: loadtl.Burst{WindowSeconds: 60, Peak: 9, Mean: 0.35, BusySeconds: 4, IdleSeconds: 56, Ratio: 25.7},
+	}
+	raw, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "dump.json")
+	if err := os.WriteFile(src, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitLive(src, dir); err != nil {
+		t.Fatalf("emitLive: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figlive.tsv"))
+	if err != nil {
+		t.Fatalf("TSV not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Distinct loads 1, 2, 9 -> cumulative periods 4, 3, 2.
+	want := []string{
+		"live-srv-live\t1\t4",
+		"live-srv-live\t2\t3",
+		"live-srv-live\t9\t2",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("TSV rows = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestEmitLiveRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(src, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitLive(src, dir); err == nil {
+		t.Error("garbage dump accepted")
+	}
+	// An idle timeline is an explicit error, not an empty file.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"node":"s","seconds":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitLive(empty, dir); err == nil {
+		t.Error("idle timeline accepted")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/loadtl"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -49,6 +50,8 @@ type options struct {
 	useTCP     bool
 	debugAddr  string
 	audit      bool
+	trace      bool
+	spanSample int
 }
 
 func parseFlags(args []string) (options, error) {
@@ -65,6 +68,8 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.useTCP, "tcp", false, "self-contained mode: use loopback TCP instead of the in-memory transport")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof during the run (empty = off)")
 	fs.BoolVar(&o.audit, "audit", false, "self-contained mode: run the online consistency auditor and fail on any invariant violation")
+	fs.BoolVar(&o.trace, "trace", false, "record causal write-path spans and the per-second load timeline (summarized after the run; served at /debug/spans and /debug/load with -debug-addr)")
+	fs.IntVar(&o.spanSample, "span-sample", 1, "with -trace, record 1 in N traces")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -104,7 +109,9 @@ type result struct {
 	localReads            int64
 	serverReads           int64
 	invalidations         int64
-	aud                   *audit.Auditor // nil unless -audit
+	aud                   *audit.Auditor    // nil unless -audit
+	spans                 *obs.SpanRecorder // nil unless -trace
+	load                  *loadtl.Timeline  // nil unless -trace
 }
 
 // execute runs the load.
@@ -122,13 +129,16 @@ func execute(o options) (*result, error) {
 		observer *obs.Observer
 		rec      *metrics.Recorder
 		aud      *audit.Auditor
+		spanRec  *obs.SpanRecorder
+		load     *loadtl.Timeline
 	)
-	if o.debugAddr != "" || o.audit {
+	if o.debugAddr != "" || o.audit || o.trace {
 		reg := obs.NewRegistry()
 		observer = &obs.Observer{Metrics: reg}
 		rec = metrics.NewRecorder()
 		obs.RegisterRecorder(reg, rec)
 		var routes []obs.Route
+		var sinks []obs.Sink
 		if o.audit {
 			aud = audit.New(audit.LiveConfig(core.Config{
 				ObjectLease: o.objLease,
@@ -136,8 +146,21 @@ func execute(o options) (*result, error) {
 				Mode:        core.ModeEager,
 			}, false))
 			aud.Register(reg)
-			observer.Tracer = obs.NewTracer(aud)
+			sinks = append(sinks, aud)
 			routes = append(routes, obs.Route{Path: "/debug/audit", Handler: aud})
+		}
+		if o.trace {
+			spanRec = obs.NewSpanRecorder(8192, o.spanSample)
+			observer.Spans = spanRec
+			load = loadtl.New(o.volume, 300, time.Now)
+			load.Register(reg)
+			sinks = append(sinks, load)
+			routes = append(routes,
+				obs.Route{Path: "/debug/spans", Handler: obs.SpansHandler(spanRec)},
+				obs.Route{Path: "/debug/load", Handler: load.Handler()})
+		}
+		if len(sinks) > 0 {
+			observer.Tracer = obs.NewTracer(sinks...)
 		}
 		if o.debugAddr != "" {
 			dbg, err := obs.Serve(o.debugAddr, reg, nil, routes...)
@@ -159,6 +182,12 @@ func execute(o options) (*result, error) {
 			mem := transport.NewMemory()
 			net = mem
 			addr = "bench-origin:1"
+		}
+		if observer != nil {
+			// Tap the wire so the load timeline sees every message. Server
+			// and clients share the process (and the observer), so each
+			// message is counted twice: once sent, once received.
+			net = transport.ObserveNetwork(net, obs.WireObserver(observer, "bench", time.Now))
 		}
 		var err error
 		srv, err = server.New(server.Config{
@@ -191,6 +220,9 @@ func execute(o options) (*result, error) {
 		}
 	} else {
 		net = transport.TCP{}
+		if observer != nil {
+			net = transport.ObserveNetwork(net, obs.WireObserver(observer, "bench", time.Now))
+		}
 	}
 
 	res := &result{
@@ -264,6 +296,8 @@ func execute(o options) (*result, error) {
 		res.serverStats = &st
 	}
 	res.aud = aud
+	res.spans = spanRec
+	res.load = load
 	return res, nil
 }
 
@@ -290,6 +324,39 @@ func (r *result) report(out *os.File, o options) error {
 	if r.serverStats != nil {
 		fmt.Fprintf(out, "server state: %d object leases, %d volume leases (%d bytes)\n",
 			r.serverStats.ObjectLeases, r.serverStats.VolumeLeases, r.serverStats.StateBytes)
+	}
+	if r.spans != nil {
+		spans := r.spans.Snapshot()
+		roots, slowest := 0, -1
+		for i, s := range spans {
+			if s.Kind != obs.SpanWrite {
+				continue
+			}
+			roots++
+			if slowest < 0 || s.Dur > spans[slowest].Dur {
+				slowest = i
+			}
+		}
+		fmt.Fprintf(out, "trace: %d spans retained (%d total recorded), %d server write roots\n",
+			len(spans), r.spans.Total(), roots)
+		if roots > 0 {
+			root := spans[slowest]
+			var children time.Duration
+			for _, s := range spans {
+				// Serialize and ack-wait run sequentially inside the root;
+				// fan-out overlaps the ack wait, so it is not summed.
+				if s.Parent == root.ID && (s.Kind == obs.SpanSerialize || s.Kind == obs.SpanAckWait) {
+					children += s.Dur
+				}
+			}
+			fmt.Fprintf(out, "trace: slowest write %s took %v (sequential children %v)\n",
+				root.Object, root.Dur, children)
+		}
+	}
+	if r.load != nil {
+		b := r.load.BurstWindow(0)
+		fmt.Fprintf(out, "load: peak %d msg/s, mean %.1f msg/s, burst ratio %.1f (%d busy / %d idle seconds)\n",
+			b.Peak, b.Mean, b.Ratio, b.BusySeconds, b.IdleSeconds)
 	}
 	if r.aud != nil {
 		s := r.aud.Snapshot()

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -77,5 +81,92 @@ func TestExecuteSelfContainedTCP(t *testing.T) {
 	}
 	if res.reads.Load() == 0 || res.errors.Load() != 0 {
 		t.Errorf("reads=%d errors=%d", res.reads.Load(), res.errors.Load())
+	}
+}
+
+func TestExecuteTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	o, err := parseFlags([]string{
+		"-trace", "-clients", "4", "-objects", "8", "-duration", "400ms", "-write-ratio", "0.2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := execute(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.writes.Load() == 0 {
+		t.Fatal("no writes completed")
+	}
+	if res.spans == nil || res.load == nil {
+		t.Fatal("-trace did not wire the span recorder / load timeline")
+	}
+
+	// Every traced write yields a causal chain: a client-write span
+	// parenting a server root whose sequential children (serialize, ack
+	// wait) fit inside the root's duration.
+	spans := res.spans.Snapshot()
+	byID := map[uint64]obs.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	var roots, chained int
+	for _, s := range spans {
+		if s.Kind != obs.SpanWrite {
+			continue
+		}
+		roots++
+		if p, ok := byID[s.Parent]; ok && p.Kind == obs.SpanClientWrite && p.Trace == s.Trace {
+			chained++
+		}
+		var seq time.Duration
+		for _, c := range spans {
+			if c.Parent == s.ID && (c.Kind == obs.SpanSerialize || c.Kind == obs.SpanAckWait) {
+				if c.Trace != s.Trace {
+					t.Errorf("child %s trace %d != root trace %d", c.Kind, c.Trace, s.Trace)
+				}
+				seq += c.Dur
+			}
+		}
+		if seq > s.Dur {
+			t.Errorf("write %s: sequential children %v exceed root %v", s.Object, seq, s.Dur)
+		}
+	}
+	if roots == 0 {
+		t.Error("no server write root spans recorded")
+	}
+	// The ring may have evicted some client spans, but with 8192 slots and
+	// a sub-second run every root's parent should still be present.
+	if chained == 0 {
+		t.Error("no write root is chained to a client-write span")
+	}
+
+	// The run itself is the burst: the timeline must show busy seconds and
+	// committed writes.
+	b := res.load.BurstWindow(0)
+	if b.Peak == 0 || b.BusySeconds == 0 {
+		t.Errorf("load burst = %+v", b)
+	}
+
+	// And the report renders the trace/load summary lines.
+	tmp, err := os.CreateTemp(t.TempDir(), "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := res.report(tmp, o); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace:", "server write roots", "load: peak"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }

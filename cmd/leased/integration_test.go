@@ -162,3 +162,111 @@ func httpGet(t *testing.T, url string) string {
 	}
 	return string(body)
 }
+
+// TestTraceEndpointsUnderWorkload enables span tracing and the load
+// timeline, drives a traced write over TCP, and checks the two new debug
+// endpoints: /debug/spans must return the write's causal chain (client
+// span -> server root -> serialize/fanout/ack-wait children), /debug/load
+// the post-write message burst.
+func TestTraceEndpointsUnderWorkload(t *testing.T) {
+	in, err := start(options{
+		addr:       "127.0.0.1:0",
+		volume:     "ttest",
+		nObjects:   4,
+		objLease:   time.Minute,
+		volLease:   10 * time.Second,
+		mode:       "eager",
+		msgTimeout: 200 * time.Millisecond,
+		debugAddr:  "127.0.0.1:0",
+		traceLen:   128,
+		spans:      256,
+		spanSample: 1,
+		loadWindow: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	reader, err := client.Dial(transport.TCP{}, in.srv.Addr(), client.Config{
+		ID: "t-reader", Obs: nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	if _, err := reader.Read("ttest", "obj-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := in.srv.Write("obj-1", []byte("traced contents")); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + in.debug.Addr()
+
+	// /debug/spans returns JSON lines; the write must appear as a root
+	// "write" span with serialize/fanout/ack-wait children.
+	body := httpGet(t, base+"/debug/spans")
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" {
+			continue
+		}
+		var span struct {
+			Kind   string `json:"kind"`
+			Trace  uint64 `json:"trace"`
+			Parent uint64 `json:"parent,omitempty"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		kinds[span.Kind]++
+	}
+	for _, k := range []string{"write", "serialize-wait", "fanout", "ack-wait"} {
+		if kinds[k] == 0 {
+			t.Errorf("/debug/spans missing %q span (got %v)", k, kinds)
+		}
+	}
+	// The ?type= filter narrows to one kind.
+	filtered := httpGet(t, base+"/debug/spans?type=write")
+	for _, line := range strings.Split(strings.TrimSpace(filtered), "\n") {
+		if line != "" && !strings.Contains(line, `"kind":"write"`) {
+			t.Errorf("?type=write returned %q", line)
+		}
+	}
+
+	// /debug/load shows the burst: at least one busy second, messages of
+	// several wire kinds, and the committed write.
+	var dump struct {
+		Node    string `json:"node"`
+		Seconds []struct {
+			Msgs   int64 `json:"msgs"`
+			Writes int64 `json:"writes"`
+		} `json:"seconds"`
+		Burst struct {
+			Peak int64 `json:"peak_mps"`
+		} `json:"burst"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/debug/load")), &dump); err != nil {
+		t.Fatalf("/debug/load is not JSON: %v", err)
+	}
+	if dump.Node != "ttest" || len(dump.Seconds) == 0 || dump.Burst.Peak == 0 {
+		t.Errorf("/debug/load dump = %+v", dump)
+	}
+	var writes int64
+	for _, s := range dump.Seconds {
+		writes += s.Writes
+	}
+	if writes < 1 {
+		t.Errorf("load timeline recorded %d writes, want >= 1", writes)
+	}
+
+	// The lease_load_* gauges ride the normal metrics endpoints.
+	vars := map[string]any{}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := vars[`lease_load_peak_mps{node="ttest"}`].(float64); !ok || v < 1 {
+		t.Errorf(`lease_load_peak_mps{node="ttest"} = %v`, vars[`lease_load_peak_mps{node="ttest"}`])
+	}
+}

@@ -14,7 +14,10 @@
 // With -debug-addr set, a debug HTTP server exposes /metrics (Prometheus
 // text), /debug/vars (JSON), /debug/pprof/ (runtime profiles) and
 // /debug/events (the last -trace protocol events, filterable with ?type=
-// and ?since=).
+// and ?since=). -spans enables causal write-path tracing (spans land in
+// /debug/spans; -span-sample keeps 1 in N traces), and -load-window keeps a
+// per-second load timeline served at /debug/load and exported as the
+// lease_load_* gauges.
 //
 // -audit attaches the online consistency auditor (internal/audit): every
 // protocol event also feeds a shadow model of the lease state, violations
@@ -35,6 +38,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/loadtl"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -67,6 +71,9 @@ type options struct {
 	traceLen   int
 	slowWrite  time.Duration
 	audit      bool
+	spans      int
+	spanSample int
+	loadWindow int
 
 	// net overrides the transport (tests); nil means TCP.
 	net transport.Network
@@ -81,6 +88,8 @@ type instance struct {
 	reg     *obs.Registry
 	ring    *obs.RingSink
 	aud     *audit.Auditor
+	spans   *obs.SpanRecorder
+	load    *loadtl.Timeline
 	seeded  int
 	mode    core.Mode
 	volLog  string
@@ -139,8 +148,23 @@ func start(opts options) (*instance, error) {
 		in.aud.Register(in.reg)
 		sinks = append(sinks, in.aud)
 	}
+	if opts.loadWindow > 0 {
+		in.load = loadtl.New(opts.volume, opts.loadWindow, time.Now)
+		in.load.Register(in.reg)
+		sinks = append(sinks, in.load)
+	}
 	if len(sinks) > 0 {
 		observer.Tracer = obs.NewTracer(sinks...)
+	}
+	if opts.spans > 0 {
+		in.spans = obs.NewSpanRecorder(opts.spans, opts.spanSample)
+		if opts.slowWrite > 0 {
+			// Mirror the server's slow-write log at the span layer: any root
+			// write span at or past the threshold also lands in the event
+			// trace as an EvSlowOp.
+			in.spans.SlowOp(opts.slowWrite, observer.Tracer)
+		}
+		observer.Spans = in.spans
 	}
 	obs.RegisterRecorder(in.reg, in.rec)
 	netw = transport.ObserveNetwork(netw, obs.WireObserver(observer, opts.volume, time.Now))
@@ -184,6 +208,12 @@ func start(opts options) (*instance, error) {
 		if in.aud != nil {
 			routes = append(routes, obs.Route{Path: "/debug/audit", Handler: in.aud})
 		}
+		if in.spans != nil {
+			routes = append(routes, obs.Route{Path: "/debug/spans", Handler: obs.SpansHandler(in.spans)})
+		}
+		if in.load != nil {
+			routes = append(routes, obs.Route{Path: "/debug/load", Handler: in.load.Handler()})
+		}
 		in.debug, err = obs.Serve(opts.debugAddr, in.reg, in.ring, routes...)
 		if err != nil {
 			srv.Close()
@@ -212,6 +242,9 @@ func run() error {
 	flag.IntVar(&opts.traceLen, "trace", 256, "protocol events kept for /debug/events (0 = tracing off)")
 	flag.DurationVar(&opts.slowWrite, "slow-write", 0, "log writes whose invalidation wait reaches this (0 = off)")
 	flag.BoolVar(&opts.audit, "audit", false, "run the online consistency auditor (exports lease_audit_* metrics and /debug/audit)")
+	flag.IntVar(&opts.spans, "spans", 0, "causal write-path spans kept for /debug/spans (0 = span tracing off)")
+	flag.IntVar(&opts.spanSample, "span-sample", 1, "record 1 in N traces (1 = every trace)")
+	flag.IntVar(&opts.loadWindow, "load-window", 300, "seconds of per-second load history for /debug/load and lease_load_* (0 = off)")
 	flag.Parse()
 
 	in, err := start(opts)
@@ -229,6 +262,12 @@ func run() error {
 		}
 		if in.aud != nil {
 			endpoints += " /debug/audit"
+		}
+		if in.spans != nil {
+			endpoints += " /debug/spans"
+		}
+		if in.load != nil {
+			endpoints += " /debug/load"
 		}
 		log.Printf("leased: debug server on http://%s (%s)", in.debug.Addr(), endpoints)
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/loadtl"
 	"repro/internal/obs"
 	"repro/internal/proxy"
 	"repro/internal/transport"
@@ -46,14 +47,32 @@ func run() error {
 	statsEvery := flag.Duration("stats", 30*time.Second, "stats reporting interval (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/events on this address (empty = off)")
 	traceLen := flag.Int("trace", 256, "protocol events kept for /debug/events (0 = tracing off)")
+	spans := flag.Int("spans", 0, "causal write-path spans kept for /debug/spans (0 = span tracing off)")
+	spanSample := flag.Int("span-sample", 1, "record 1 in N traces (1 = every trace)")
+	loadWindow := flag.Int("load-window", 300, "seconds of per-second load history for /debug/load and lease_load_* (0 = off)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
 	observer := &obs.Observer{Metrics: reg}
 	var ring *obs.RingSink
+	var sinks []obs.Sink
 	if *traceLen > 0 {
 		ring = obs.NewRingSink(*traceLen)
-		observer.Tracer = obs.NewTracer(ring)
+		sinks = append(sinks, ring)
+	}
+	var load *loadtl.Timeline
+	if *loadWindow > 0 {
+		load = loadtl.New(*id, *loadWindow, time.Now)
+		load.Register(reg)
+		sinks = append(sinks, load)
+	}
+	if len(sinks) > 0 {
+		observer.Tracer = obs.NewTracer(sinks...)
+	}
+	var spanRec *obs.SpanRecorder
+	if *spans > 0 {
+		spanRec = obs.NewSpanRecorder(*spans, *spanSample)
+		observer.Spans = spanRec
 	}
 	netw := transport.ObserveNetwork(transport.TCP{}, obs.WireObserver(observer, *id, time.Now))
 
@@ -81,7 +100,14 @@ func run() error {
 		*volume, px.Addr(), *upstream, *objLease, *volLease)
 
 	if *debugAddr != "" {
-		dbg, err := obs.Serve(*debugAddr, reg, ring)
+		var routes []obs.Route
+		if spanRec != nil {
+			routes = append(routes, obs.Route{Path: "/debug/spans", Handler: obs.SpansHandler(spanRec)})
+		}
+		if load != nil {
+			routes = append(routes, obs.Route{Path: "/debug/load", Handler: load.Handler()})
+		}
+		dbg, err := obs.Serve(*debugAddr, reg, ring, routes...)
 		if err != nil {
 			return err
 		}

@@ -82,8 +82,10 @@ type Config struct {
 	// back. Hierarchical caches (internal/proxy) use it to invalidate their
 	// own downstream clients first, preserving end-to-end consistency: the
 	// origin's write completes only after the whole subtree has dropped the
-	// object.
-	OnInvalidate func(objects []core.ObjectID)
+	// object. tc is the causal trace context the invalidation carried (zero
+	// when the write was untraced), so the hook's own fan-out can join the
+	// originating write's trace.
+	OnInvalidate func(objects []core.ObjectID, tc wire.TraceContext)
 	// Obs, when non-nil, receives protocol events (invalidations received,
 	// redials, reconnection rounds) and exposes the cache counters as
 	// scrape-time gauges. A nil Obs costs the hot paths a single nil check.
@@ -358,21 +360,44 @@ func (c *Client) isClosed() bool {
 }
 
 // redial re-establishes the connection with capped exponential backoff. It
-// returns false when the client was closed while retrying.
+// returns false when the client was closed while retrying. A successful
+// redial records a SpanRedial (N = dial attempts) so reconnection storms
+// show up in /debug/spans.
 func (c *Client) redial() bool {
 	bo := newRedialBackoff(c.cfg.RedialBackoff, c.cfg.RedialBackoffCap, c.cfg.ID)
+	sr := c.cfg.Obs.SpanRec()
+	var (
+		traceID, spanID uint64
+		spanStart       time.Time
+	)
+	if sr != nil {
+		traceID = sr.NewID()
+		if !sr.Sampled(traceID) {
+			sr = nil
+		} else {
+			spanID = sr.NewID()
+			spanStart = c.cfg.Clock.Now()
+		}
+	}
+	attempts := 0
 	for {
 		select {
 		case <-c.done:
 			return false
 		default:
 		}
+		attempts++
 		conn, err := c.dialer()
 		if err == nil {
 			if err = conn.Send(wire.Hello{Client: c.cfg.ID}); err == nil {
 				c.mu.Lock()
 				c.conn = conn
 				c.mu.Unlock()
+				if sr != nil {
+					sr.Record(obs.Span{Trace: traceID, ID: spanID, Kind: obs.SpanRedial,
+						Node: string(c.cfg.ID), Client: c.cfg.ID, Start: spanStart,
+						Dur: c.cfg.Clock.Now().Sub(spanStart), N: attempts})
+				}
 				c.emit(obs.Event{Type: obs.EvRedial})
 				c.logf("reconnected")
 				return true
@@ -403,16 +428,18 @@ func (c *Client) send(m wire.Message) error {
 
 // handleInvalidate processes a server-initiated INVALIDATE: drop the data
 // and lease, propagate to the OnInvalidate hook, then acknowledge (Figure
-// 4, "Client receives object invalidation message").
+// 4, "Client receives object invalidation message"). The invalidation's
+// trace context is handed to the hook and echoed in the ack, so the
+// originating write's trace spans the whole round trip.
 func (c *Client) handleInvalidate(inv wire.Invalidate) {
 	for _, oid := range inv.Objects {
 		c.emit(obs.Event{Type: obs.EvInvalRecv, Object: oid})
 	}
 	c.dropObjects(inv.Objects)
 	if c.cfg.OnInvalidate != nil {
-		c.cfg.OnInvalidate(inv.Objects)
+		c.cfg.OnInvalidate(inv.Objects, inv.Trace)
 	}
-	if err := c.send(wire.AckInvalidate{Objects: inv.Objects}); err != nil {
+	if err := c.send(wire.AckInvalidate{Objects: inv.Objects, Trace: inv.Trace}); err != nil {
 		c.logf("ack failed: %v", err)
 	}
 }

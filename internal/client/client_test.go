@@ -483,7 +483,7 @@ func TestOnInvalidateHookRunsBeforeAck(t *testing.T) {
 	fs.scriptedGrants("v1")
 	hookRan := make(chan []core.ObjectID, 1)
 	c := dialClient(t, fs, func(cfg *Config) {
-		cfg.OnInvalidate = func(objs []core.ObjectID) {
+		cfg.OnInvalidate = func(objs []core.ObjectID, _ wire.TraceContext) {
 			// The ack must not have been sent yet.
 			if n := len(fs.seen(wire.KindAckInvalidate)); n != 0 {
 				t.Errorf("ack sent before hook (%d acks)", n)

@@ -86,14 +86,52 @@ func (c *Client) Peek(oid core.ObjectID) ([]byte, bool) {
 
 // Write asks the server to modify an object. It blocks for the server's
 // invalidate/ack round (the paper's write delay) and reports the new
-// version and the server-side wait.
+// version and the server-side wait. When the client's observer has a span
+// recorder, the write starts a fresh trace whose context rides the WriteReq
+// so the server's root write span becomes a child of this client span.
 func (c *Client) Write(oid core.ObjectID, data []byte) (core.Version, time.Duration, error) {
+	return c.WriteTraced(oid, data, wire.TraceContext{})
+}
+
+// WriteTraced is Write joining an existing trace: tc identifies the span
+// that caused this write (a proxy relaying a downstream WriteReq passes the
+// downstream's context). A zero tc starts a fresh trace when tracing is
+// enabled, and stays untraced otherwise.
+func (c *Client) WriteTraced(oid core.ObjectID, data []byte, tc wire.TraceContext) (core.Version, time.Duration, error) {
 	seq, err := c.open()
 	if err != nil {
 		return 0, 0, err
 	}
 	defer c.release(seq)
-	m, err := c.rpc(seq, wire.WriteReq{Seq: seq, Object: oid, Data: data})
+
+	sr := c.cfg.Obs.SpanRec()
+	var (
+		spanID, parentID uint64
+		spanStart        time.Time
+	)
+	if sr != nil {
+		trace := tc.TraceID
+		if trace == 0 {
+			trace = sr.NewID()
+		}
+		if !sr.Sampled(trace) {
+			sr = nil
+			// Still forward an inherited context so downstream nodes that DO
+			// sample this trace parent correctly.
+		} else {
+			parentID = tc.SpanID
+			spanID = sr.NewID()
+			spanStart = c.cfg.Clock.Now()
+			tc = wire.TraceContext{TraceID: trace, SpanID: spanID}
+		}
+	}
+
+	m, err := c.rpc(seq, wire.WriteReq{Seq: seq, Object: oid, Data: data, Trace: tc})
+	if sr != nil {
+		sr.Record(obs.Span{Trace: tc.TraceID, ID: spanID, Parent: parentID,
+			Kind: obs.SpanClientWrite, Node: string(c.cfg.ID), Client: c.cfg.ID,
+			Object: oid, Start: spanStart, Dur: c.cfg.Clock.Now().Sub(spanStart)})
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -102,6 +140,21 @@ func (c *Client) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		return 0, 0, fmt.Errorf("client: unexpected %s reply to write", m.Kind())
 	}
 	return rep.Version, rep.Waited, nil
+}
+
+// startSpan begins a fresh sampled trace for a client-initiated operation.
+// It returns a nil recorder — the callers' signal to skip recording — when
+// tracing is disabled or the new trace falls outside the sample.
+func (c *Client) startSpan() (sr *obs.SpanRecorder, traceID, spanID uint64, start time.Time) {
+	sr = c.cfg.Obs.SpanRec()
+	if sr == nil {
+		return nil, 0, 0, time.Time{}
+	}
+	traceID = sr.NewID()
+	if !sr.Sampled(traceID) {
+		return nil, 0, 0, time.Time{}
+	}
+	return sr, traceID, sr.NewID(), c.cfg.Clock.Now()
 }
 
 // fresh reports whether a lease expiry is still trustworthy after the skew
@@ -125,7 +178,8 @@ func (c *Client) HasVolumeLease(vid core.VolumeID) bool {
 }
 
 // renewObject runs the REQ_OBJ_LEASE round (Figure 4, "Client requests
-// lease for object o").
+// lease for object o"). Each renewal is its own short trace: the span
+// measures the full request/reply round trip as seen from the client.
 func (c *Client) renewObject(vid core.VolumeID, oid core.ObjectID) error {
 	c.mu.Lock()
 	ver := core.NoVersion
@@ -140,7 +194,14 @@ func (c *Client) renewObject(vid core.VolumeID, oid core.ObjectID) error {
 		return err
 	}
 	defer c.release(seq)
+
+	sr, traceID, spanID, spanStart := c.startSpan()
 	m, err := c.rpc(seq, wire.ReqObjLease{Seq: seq, Object: oid, Version: ver})
+	if sr != nil {
+		sr.Record(obs.Span{Trace: traceID, ID: spanID, Kind: obs.SpanRenewObject,
+			Node: string(c.cfg.ID), Client: c.cfg.ID, Object: oid, Volume: vid,
+			Start: spanStart, Dur: c.cfg.Clock.Now().Sub(spanStart)})
+	}
 	if err != nil {
 		return err
 	}
@@ -206,7 +267,20 @@ func (c *Client) RenewVolume(vid core.VolumeID) error {
 	}
 	defer c.release(seq)
 
+	// One span covers the whole (possibly multi-round) conversation; N
+	// records how many request/reply rounds it took.
+	rounds := 0
+	sr, traceID, spanID, spanStart := c.startSpan()
+	if sr != nil {
+		defer func() {
+			sr.Record(obs.Span{Trace: traceID, ID: spanID, Kind: obs.SpanRenewVolume,
+				Node: string(c.cfg.ID), Client: c.cfg.ID, Volume: vid,
+				Start: spanStart, Dur: c.cfg.Clock.Now().Sub(spanStart), N: rounds})
+		}()
+	}
+
 	m, err := c.rpc(seq, wire.ReqVolLease{Seq: seq, Volume: vid, Epoch: epoch})
+	rounds++
 	if err != nil {
 		return err
 	}
@@ -221,6 +295,7 @@ func (c *Client) RenewVolume(vid core.VolumeID) error {
 		case wire.InvalRenew:
 			c.applyInvalRenew(v)
 			m, err = c.rpc(seq, wire.AckInvalidate{Seq: seq, Volume: vid, Objects: v.Invalidate})
+			rounds++
 			if err != nil {
 				return err
 			}
@@ -230,6 +305,7 @@ func (c *Client) RenewVolume(vid core.VolumeID) error {
 			c.emit(obs.Event{Type: obs.EvReconnect, Volume: vid, Epoch: v.Epoch, N: len(held)})
 			c.logf("reconnecting to volume %s (epoch %d): renewing %d objects", vid, v.Epoch, len(held))
 			m, err = c.rpc(seq, wire.RenewObjLeases{Seq: seq, Volume: vid, Held: held})
+			rounds++
 			if err != nil {
 				return err
 			}
@@ -249,7 +325,9 @@ func (c *Client) applyInvalRenew(v wire.InvalRenew) {
 	}
 	c.dropObjects(v.Invalidate)
 	if c.cfg.OnInvalidate != nil && len(v.Invalidate) > 0 {
-		c.cfg.OnInvalidate(v.Invalidate)
+		// InvalRenew carries no trace context (the renewal conversation is
+		// client-initiated), so the hook sees a zero one.
+		c.cfg.OnInvalidate(v.Invalidate, wire.TraceContext{})
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -35,6 +35,40 @@ func BenchmarkEmitCountSink(b *testing.B) {
 	}
 }
 
+// BenchmarkSpanDisabled measures the disabled-span fast path the write
+// path pays when causal tracing is off: fetching the recorder (nil) and the
+// guard checks around every would-be span. The acceptance bar is zero
+// allocations — the traced write path must cost nothing when no recorder
+// is wired up.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr := o.SpanRec()
+		if sr != nil {
+			b.Fatal("recorder unexpectedly enabled")
+		}
+		if trace := sr.NewID(); sr.Sampled(trace) {
+			b.Fatal("nil recorder sampled a trace")
+		}
+		sr.Record(Span{Kind: SpanWrite})
+	}
+}
+
+// BenchmarkSpanRecord measures the enabled path: one completed span into
+// the lock-free ring.
+func BenchmarkSpanRecord(b *testing.B) {
+	rec := NewSpanRecorder(1024, 1)
+	at := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(Span{
+			Trace: uint64(i), ID: uint64(i), Kind: SpanWrite,
+			Node: "srv", Object: "obj-1", Start: at, Dur: time.Millisecond,
+		})
+	}
+}
+
 // BenchmarkCounterInc measures one registry counter bump.
 func BenchmarkCounterInc(b *testing.B) {
 	c := NewRegistry().Counter("bench_total")

@@ -10,7 +10,7 @@ import (
 )
 
 // summaryQuantiles are the quantile labels exported for every histogram.
-var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+var summaryQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
 
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples, latency
@@ -88,6 +88,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				"mean":        s.hist.Mean().Seconds(),
 				"p50":         s.hist.Quantile(0.5).Seconds(),
 				"p90":         s.hist.Quantile(0.9).Seconds(),
+				"p95":         s.hist.Quantile(0.95).Seconds(),
 				"p99":         s.hist.Quantile(0.99).Seconds(),
 				"max":         s.hist.Max().Seconds(),
 			}

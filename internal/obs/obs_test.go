@@ -252,3 +252,91 @@ func TestSplitName(t *testing.T) {
 		}
 	}
 }
+
+// TestPrometheusFamilyGrouping is a regression test for the series sort
+// order: '{' sorts after '_', so sorting by full name alone would split a
+// family that has both bare and labeled series around its `_suffix`
+// siblings (`lease_load`, `lease_load_peak`, `lease_load{...}`) and emit
+// the family's TYPE header twice — invalid exposition format.
+func TestPrometheusFamilyGrouping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lease_load").Add(1)
+	r.Counter(`lease_load{node="a"}`).Add(2)
+	r.Counter("lease_load_peak").Add(3)
+	r.GaugeFunc(`lease_load_ratio{node="a"}`, func() float64 { return 4 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	seen := map[string]int{}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[strings.Fields(line)[2]]++
+		}
+	}
+	for family, n := range seen {
+		if n != 1 {
+			t.Errorf("family %q has %d TYPE headers:\n%s", family, n, text)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("TYPE headers = %v, want the 3 families", seen)
+	}
+	// Labeled series sit directly under their family's header.
+	idxHeader := strings.Index(text, "# TYPE lease_load counter")
+	idxLabeled := strings.Index(text, `lease_load{node="a"} 2`)
+	idxNext := strings.Index(text, "# TYPE lease_load_peak")
+	if idxHeader < 0 || idxLabeled < idxHeader || idxLabeled > idxNext {
+		t.Errorf("labeled series outside its family block:\n%s", text)
+	}
+
+	// And the output is deterministic scrape to scrape.
+	var again bytes.Buffer
+	if err := r.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Errorf("scrape output not deterministic:\n--- first\n%s\n--- second\n%s", text, again.String())
+	}
+}
+
+// TestSummaryQuantileLabels pins the exported quantile set, p95 included,
+// in both exposition formats.
+func TestSummaryQuantileLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lease_ack_wait_seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"0.5", "0.9", "0.95", "0.99"} {
+		if !strings.Contains(prom.String(), `lease_ack_wait_seconds{quantile="`+q+`"}`) {
+			t.Errorf("prometheus output missing quantile %s:\n%s", q, prom.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(js.Bytes(), &vars); err != nil {
+		t.Fatal(err)
+	}
+	hist := vars["lease_ack_wait_seconds"].(map[string]any)
+	for _, k := range []string{"p50", "p90", "p95", "p99"} {
+		if _, ok := hist[k].(float64); !ok {
+			t.Errorf("JSON histogram missing %s: %v", k, hist)
+		}
+	}
+	p90 := hist["p90"].(float64)
+	p95 := hist["p95"].(float64)
+	p99 := hist["p99"].(float64)
+	if !(p90 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p90=%g p95=%g p99=%g", p90, p95, p99)
+	}
+}

@@ -160,7 +160,19 @@ func (r *Registry) snapshot() []series {
 	for name, f := range funcs {
 		out = append(out, series{name: name, kind: kindGauge, val: f()})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	// Sort by (family, full name), not the full name alone: '{' sorts after
+	// '_', so a family with both bare and labeled series (`a` and `a{x=...}`)
+	// would otherwise be split around its `a_suffix` siblings and
+	// WritePrometheus would emit the family's TYPE header twice — invalid
+	// exposition format.
+	sort.Slice(out, func(i, j int) bool {
+		fi, _ := splitName(out[i].name)
+		fj, _ := splitName(out[j].name)
+		if fi != fj {
+			return fi < fj
+		}
+		return out[i].name < out[j].name
+	})
 	return out
 }
 

@@ -59,11 +59,16 @@ func (t *Tracer) Emit(e Event) {
 	}
 }
 
-// Observer bundles the two halves of the observability layer as components
-// consume them. A nil *Observer disables both; components nil-check once.
+// Observer bundles the halves of the observability layer as components
+// consume them. A nil *Observer disables all of them; components nil-check
+// once.
 type Observer struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	// Spans, when set, enables causal write-path tracing: the instrumented
+	// packages record completed spans here and propagate trace contexts on
+	// the wire.
+	Spans *SpanRecorder
 }
 
 // Tracing reports whether event emission is live.
@@ -83,6 +88,16 @@ func (o *Observer) Reg() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// SpanRec returns the span recorder, nil when absent or on a nil observer.
+// The nil result doubles as the disabled fast path: call sites keep the
+// returned pointer and skip all span work when it is nil.
+func (o *Observer) SpanRec() *SpanRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
 }
 
 // --- Sinks ---

@@ -49,9 +49,10 @@ func (pc *pconn) takeRenewal(seq uint64, remove bool) (*renewal, bool) {
 	return r, ok
 }
 
-// sendInvalidate pushes a seq-0 invalidation downstream.
-func (pc *pconn) sendInvalidate(oid core.ObjectID) {
-	_ = pc.conn.Send(wire.Invalidate{Objects: []core.ObjectID{oid}})
+// sendInvalidate pushes a seq-0 invalidation downstream, carrying the
+// originating write's trace context.
+func (pc *pconn) sendInvalidate(oid core.ObjectID, tc wire.TraceContext) {
+	_ = pc.conn.Send(wire.Invalidate{Objects: []core.ObjectID{oid}, Trace: tc})
 }
 
 // acceptLoop admits downstream connections.
@@ -437,11 +438,12 @@ func (p *Proxy) handleAckInvalidate(pc *pconn, ack wire.AckInvalidate) error {
 // before the write completes, so by the time the reply arrives the whole
 // subtree is consistent.
 func (p *Proxy) handleWriteReq(pc *pconn, req wire.WriteReq) {
-	version, waited, err := p.up.Write(req.Object, req.Data)
+	version, waited, err := p.up.WriteTraced(req.Object, req.Data, req.Trace)
 	if err != nil {
 		_ = pc.conn.Send(wire.Error{Seq: req.Seq, Code: wire.ErrCodeUnknown,
 			Msg: "upstream write failed: " + err.Error()})
 		return
 	}
-	_ = pc.conn.Send(wire.WriteReply{Seq: req.Seq, Object: req.Object, Version: version, Waited: waited})
+	_ = pc.conn.Send(wire.WriteReply{Seq: req.Seq, Object: req.Object, Version: version,
+		Waited: waited, Trace: req.Trace})
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // Config parameterizes a Proxy.
@@ -229,7 +230,7 @@ func (p *Proxy) Stats() core.Stats {
 // wait for their acks (bounded by their sub-lease expiries, which are in
 // turn bounded by our own upstream leases), and only then return — the
 // client library sends the upstream ack after this hook.
-func (p *Proxy) onUpstreamInvalidate(objects []core.ObjectID) {
+func (p *Proxy) onUpstreamInvalidate(objects []core.ObjectID, tc wire.TraceContext) {
 	// Startup fence: a fresh incarnation cannot vouch for sub-leases its
 	// predecessor granted until they have provably expired.
 	if wait := p.fence.Sub(p.cfg.Clock.Now()); wait > 0 {
@@ -241,14 +242,27 @@ func (p *Proxy) onUpstreamInvalidate(objects []core.ObjectID) {
 		}
 	}
 	for _, oid := range objects {
-		p.invalidateDownstream(oid)
+		p.invalidateDownstream(oid, tc)
 	}
 }
 
 // invalidateDownstream runs the server-side write-invalidation round for
 // one object against the proxy's own clients, then marks the proxy copy
-// stale so the next downstream request refetches from upstream.
-func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
+// stale so the next downstream request refetches from upstream. tc is the
+// originating write's trace context: the downstream invalidations carry it
+// onward (re-parented on this proxy's fan-out span when sampled), and the
+// proxy records one SpanFanout per object covering its whole downstream
+// round — the subtree's contribution to the origin write's latency.
+func (p *Proxy) invalidateDownstream(oid core.ObjectID, tc wire.TraceContext) {
+	sr := p.cfg.Obs.SpanRec()
+	var spanID uint64
+	downTC := tc
+	if sr == nil || tc.TraceID == 0 || !sr.Sampled(tc.TraceID) {
+		sr = nil
+	} else {
+		spanID = sr.NewID()
+		downTC = wire.TraceContext{TraceID: tc.TraceID, SpanID: spanID}
+	}
 	now := p.cfg.Clock.Now()
 	began := now
 	p.mu.Lock()
@@ -286,7 +300,7 @@ func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 			p.logf("invalidate %s: client %s not connected; waiting out its sub-lease", oid, waiters[i].client)
 			continue
 		}
-		pc.sendInvalidate(oid)
+		pc.sendInvalidate(oid, downTC)
 		if p.om != nil {
 			p.om.invalSent.Inc()
 		}
@@ -341,6 +355,11 @@ func (p *Proxy) invalidateDownstream(oid core.ObjectID) {
 	p.mu.Unlock()
 	if p.om != nil {
 		p.om.unreached.Add(int64(len(unacked)))
+	}
+	if sr != nil {
+		sr.Record(obs.Span{Trace: tc.TraceID, ID: spanID, Parent: tc.SpanID,
+			Kind: obs.SpanFanout, Node: string(p.cfg.ID), Object: oid,
+			Volume: plan.Volume, Start: began, Dur: now.Sub(began), N: len(waiters)})
 	}
 	if len(waiters) > 0 {
 		p.emit(obs.Event{Type: obs.EvWriteUnblocked, Object: oid, N: len(unacked), Dur: now.Sub(began), At: now})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -24,12 +25,12 @@ type clientConn struct {
 	renewals map[uint64]*renewal
 
 	// invalMu guards invalQ, the outbound invalidation queue. Writes
-	// enqueue object ids here; the connection's flusher goroutine drains
+	// enqueue items here; the connection's flusher goroutine drains
 	// whatever has accumulated into one multi-object wire.Invalidate, so a
 	// burst of writes against this client's cache coalesces into a single
 	// message.
 	invalMu sync.Mutex
-	invalQ  []core.ObjectID
+	invalQ  []invalItem
 	// invalKick wakes the flusher (capacity 1: one pending kick covers any
 	// number of enqueues).
 	invalKick chan struct{}
@@ -37,11 +38,21 @@ type clientConn struct {
 	gone chan struct{}
 }
 
+// invalItem is one queued invalidation, carrying the originating write's
+// trace so the flusher can record a fan-out span and propagate the context
+// on the wire (trace 0 = untraced write).
+type invalItem struct {
+	oid    core.ObjectID
+	trace  uint64
+	parent uint64 // the write's root span id
+}
+
 // queueInvalidate appends oid to the outbound invalidation batch and wakes
-// the flusher.
-func (cc *clientConn) queueInvalidate(oid core.ObjectID) {
+// the flusher. trace/parent tie the invalidation back to the write's span
+// (both 0 when the write is untraced).
+func (cc *clientConn) queueInvalidate(oid core.ObjectID, trace, parent uint64) {
 	cc.invalMu.Lock()
-	cc.invalQ = append(cc.invalQ, oid)
+	cc.invalQ = append(cc.invalQ, invalItem{oid: oid, trace: trace, parent: parent})
 	cc.invalMu.Unlock()
 	select {
 	case cc.invalKick <- struct{}{}:
@@ -51,6 +62,13 @@ func (cc *clientConn) queueInvalidate(oid core.ObjectID) {
 
 // invalFlusher drains the connection's invalidation queue, sending each
 // batch as one multi-object Invalidate. Runs as a per-connection goroutine.
+//
+// When the batch contains traced writes, the send is recorded as one
+// fan-out span per connection, and the first traced item's context rides
+// the Invalidate so the client's ack (and a proxy's own downstream round)
+// joins that write's trace. A batch coalescing several traced writes
+// attributes the message to the first — the others still account the
+// fan-out through their ack-wait spans.
 func (s *Server) invalFlusher(cc *clientConn) {
 	defer s.wg.Done()
 	for {
@@ -69,16 +87,48 @@ func (s *Server) invalFlusher(cc *clientConn) {
 			if len(batch) == 0 {
 				break
 			}
-			if err := s.send(cc, metrics.MsgInvalidate, wire.Invalidate{Objects: batch}); err != nil {
+			objs := make([]core.ObjectID, len(batch))
+			var trace, parent uint64
+			for i, it := range batch {
+				objs[i] = it.oid
+				if trace == 0 && it.trace != 0 {
+					trace, parent = it.trace, it.parent
+				}
+			}
+			sr := s.cfg.Obs.SpanRec()
+			var (
+				tc        wire.TraceContext
+				spanID    uint64
+				spanStart time.Time
+			)
+			if sr != nil && trace != 0 && sr.Sampled(trace) {
+				spanID = sr.NewID()
+				spanStart = s.cfg.Clock.Now()
+				tc = wire.TraceContext{TraceID: trace, SpanID: spanID}
+			} else {
+				sr = nil
+				if trace != 0 {
+					// Still propagate the context (parented on the write's
+					// root) even when this node records nothing.
+					tc = wire.TraceContext{TraceID: trace, SpanID: parent}
+				}
+			}
+			if err := s.send(cc, metrics.MsgInvalidate, wire.Invalidate{Objects: objs, Trace: tc}); err != nil {
 				// The write's ack wait times the client out and marks it
 				// unreachable; nothing more to do here.
-				s.logf("invalidate %v to %s failed: %v", batch, cc.id, err)
+				s.logf("invalidate %v to %s failed: %v", objs, cc.id, err)
 				continue
+			}
+			if sr != nil {
+				sr.Record(obs.Span{Trace: trace, ID: spanID, Parent: parent,
+					Kind: obs.SpanFanout, Node: s.cfg.Name, Client: cc.id,
+					Object: batch[0].oid, Start: spanStart,
+					Dur: s.cfg.Clock.Now().Sub(spanStart), N: len(batch)})
 			}
 			if s.om != nil {
 				s.om.invalSent.Add(int64(len(batch)))
 			}
-			for _, oid := range batch {
+			for _, oid := range objs {
 				s.emit(obs.Event{Type: obs.EvInvalSent, Client: cc.id, Object: oid})
 			}
 		}
@@ -476,15 +526,18 @@ func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID
 	}
 }
 
-// handleWriteReq performs a client-requested write and replies.
+// handleWriteReq performs a client-requested write and replies, threading
+// the request's trace context through the write and echoing it in the
+// reply.
 func (s *Server) handleWriteReq(cc *clientConn, req wire.WriteReq) {
-	version, waited, err := s.Write(req.Object, req.Data)
+	version, waited, err := s.WriteTraced(req.Object, req.Data, req.Trace)
 	if err != nil {
 		_ = s.sendErr(cc, req.Seq, err)
 		return
 	}
 	_ = s.send(cc, metrics.MsgData, wire.WriteReply{
 		Seq: req.Seq, Object: req.Object, Version: version, Waited: waited,
+		Trace: req.Trace,
 	})
 }
 

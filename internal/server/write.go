@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Write modifies an object, running Figure 3's "Server writes object o":
@@ -19,9 +20,41 @@ import (
 // collect their acknowledgments concurrently. The shard mutex is held only
 // for the in-memory table transitions, never across the ack wait.
 func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Duration, error) {
+	return s.WriteTraced(oid, data, wire.TraceContext{})
+}
+
+// WriteTraced is Write carrying a causal trace context. When the server's
+// observer has a span recorder and the trace is sampled, the write records
+// a root span (a child of tc's span when the write came over the wire)
+// plus child spans for the three places its latency can go: the
+// per-object serialization wait, each connection's invalidation fan-out
+// (recorded by the flusher), and the ack-collection wait. A zero tc starts
+// a fresh trace at this server.
+func (s *Server) WriteTraced(oid core.ObjectID, data []byte, tc wire.TraceContext) (core.Version, time.Duration, error) {
 	sh, err := s.shardOfObject(oid)
 	if err != nil {
 		return 0, 0, err
+	}
+
+	// Resolve the span recorder once: sr stays nil — the zero-cost path —
+	// unless tracing is wired up AND this trace is sampled.
+	sr := s.cfg.Obs.SpanRec()
+	var (
+		traceID, rootID, parentID uint64
+		spanStart                 time.Time
+	)
+	if sr != nil {
+		traceID, parentID = tc.TraceID, tc.SpanID
+		if traceID == 0 {
+			traceID = sr.NewID()
+		}
+		if !sr.Sampled(traceID) {
+			sr = nil
+		}
+	}
+	if sr != nil {
+		rootID = sr.NewID()
+		spanStart = s.cfg.Clock.Now()
 	}
 
 	type waiter struct {
@@ -85,6 +118,13 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 	if s.om != nil {
 		s.om.writes.Inc()
 	}
+	if sr != nil {
+		// The gap between entering WriteTraced and holding the write slot is
+		// the per-object serialization wait (near zero without contention).
+		sr.Record(obs.Span{Trace: traceID, ID: sr.NewID(), Parent: rootID,
+			Kind: obs.SpanSerialize, Node: s.cfg.Name, Object: oid,
+			Volume: plan.Volume, Start: spanStart, Dur: start.Sub(spanStart)})
+	}
 	if len(waiters) > 0 {
 		s.emit(obs.Event{Type: obs.EvWriteBlocked, Object: oid, N: len(waiters), At: start})
 	}
@@ -104,7 +144,11 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 			s.logf("write %s: client %s not connected; waiting out its lease", oid, waiters[i].client)
 			continue
 		}
-		cc.queueInvalidate(oid)
+		cc.queueInvalidate(oid, traceID, rootID)
+	}
+	var ackStart time.Time
+	if sr != nil {
+		ackStart = s.cfg.Clock.Now()
 	}
 
 	// Figure 3: T_f = min(volume.expire, object.expire), floored at
@@ -184,6 +228,14 @@ func (s *Server) Write(oid core.ObjectID, data []byte) (core.Version, time.Durat
 		return 0, 0, err
 	}
 	waited := now.Sub(start)
+	if sr != nil {
+		sr.Record(obs.Span{Trace: traceID, ID: sr.NewID(), Parent: rootID,
+			Kind: obs.SpanAckWait, Node: s.cfg.Name, Object: oid, Volume: plan.Volume,
+			Start: ackStart, Dur: now.Sub(ackStart), N: len(unacked)})
+		sr.Record(obs.Span{Trace: traceID, ID: rootID, Parent: parentID,
+			Kind: obs.SpanWrite, Node: s.cfg.Name, Object: oid, Volume: plan.Volume,
+			Start: spanStart, Dur: s.cfg.Clock.Now().Sub(spanStart), N: len(waiters)})
+	}
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Write(waited)
 	}

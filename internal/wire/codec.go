@@ -56,10 +56,12 @@ func Encode(m Message) ([]byte, error) {
 	case Invalidate:
 		e.u64(v.Seq)
 		e.objects(v.Objects)
+		e.trace(v.Trace)
 	case AckInvalidate:
 		e.u64(v.Seq)
 		e.str(string(v.Volume))
 		e.objects(v.Objects)
+		e.trace(v.Trace)
 	case MustRenewAll:
 		e.u64(v.Seq)
 		e.str(string(v.Volume))
@@ -86,11 +88,13 @@ func Encode(m Message) ([]byte, error) {
 		e.u64(v.Seq)
 		e.str(string(v.Object))
 		e.bytes(v.Data)
+		e.trace(v.Trace)
 	case WriteReply:
 		e.u64(v.Seq)
 		e.str(string(v.Object))
 		e.i64(int64(v.Version))
 		e.i64(int64(v.Waited))
+		e.trace(v.Trace)
 	case Error:
 		e.u64(v.Seq)
 		e.u8(uint8(v.Code))
@@ -130,9 +134,11 @@ func Decode(buf []byte) (Message, error) {
 		return m, d.finish()
 	case KindInvalidate:
 		m := Invalidate{Seq: d.u64(), Objects: d.objects()}
+		m.Trace = d.trace()
 		return m, d.finish()
 	case KindAckInvalidate:
 		m := AckInvalidate{Seq: d.u64(), Volume: core.VolumeID(d.str()), Objects: d.objects()}
+		m.Trace = d.trace()
 		return m, d.finish()
 	case KindMustRenewAll:
 		m := MustRenewAll{Seq: d.u64(), Volume: core.VolumeID(d.str()), Epoch: core.Epoch(d.i64())}
@@ -167,9 +173,11 @@ func Decode(buf []byte) (Message, error) {
 		return m, d.finish()
 	case KindWriteReq:
 		m := WriteReq{Seq: d.u64(), Object: core.ObjectID(d.str()), Data: d.bytes()}
+		m.Trace = d.trace()
 		return m, d.finish()
 	case KindWriteReply:
 		m := WriteReply{Seq: d.u64(), Object: core.ObjectID(d.str()), Version: core.Version(d.i64()), Waited: time.Duration(d.i64())}
+		m.Trace = d.trace()
 		return m, d.finish()
 	case KindError:
 		m := Error{Seq: d.u64(), Code: ErrorCode(d.u8()), Msg: d.str()}
@@ -254,6 +262,18 @@ func (e *encoder) objects(ids []core.ObjectID) {
 	for _, id := range ids {
 		e.str(string(id))
 	}
+}
+
+// trace encodes a trace context as an optional trailing section: nothing at
+// all when the context is zero. Because it is the last field of every
+// message that carries one, frames from peers that predate tracing (which
+// simply end after the base fields) still decode — see decoder.trace.
+func (e *encoder) trace(t TraceContext) {
+	if t.IsZero() {
+		return
+	}
+	e.uv(t.TraceID)
+	e.uv(t.SpanID)
 }
 
 type decoder struct {
@@ -349,6 +369,21 @@ func (d *decoder) time() time.Time {
 		return time.Time{}
 	}
 	return time.Unix(0, v)
+}
+
+// trace decodes the optional trailing trace section. No bytes left means
+// the sender didn't attach one (old peer or untraced message) and yields
+// the zero context. A present-but-zero context is rejected as non-canonical
+// so every accepted message re-encodes to identical bytes.
+func (d *decoder) trace() TraceContext {
+	if d.err != nil || len(d.buf) == 0 {
+		return TraceContext{}
+	}
+	t := TraceContext{TraceID: d.uv(), SpanID: d.uv()}
+	if d.err == nil && t.IsZero() {
+		d.fail()
+	}
+	return t
 }
 
 func (d *decoder) objects() []core.ObjectID {

@@ -252,6 +252,108 @@ func TestQuickWriteReqRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: 0xDEADBEEF12345678, SpanID: 42}
+	msgs := []Message{
+		WriteReq{Seq: 7, Object: "obj", Data: []byte("d"), Trace: tc},
+		WriteReply{Seq: 7, Object: "obj", Version: 9, Waited: time.Millisecond, Trace: tc},
+		Invalidate{Objects: []core.ObjectID{"a", "b"}, Trace: tc},
+		AckInvalidate{Seq: 0, Volume: "v", Objects: []core.ObjectID{"a"}, Trace: tc},
+		// SpanID-only contexts are legal (trace id picked up downstream).
+		Invalidate{Objects: []core.ObjectID{"a"}, Trace: TraceContext{SpanID: 3}},
+		WriteReq{Seq: 1, Object: "o", Data: []byte{}, Trace: TraceContext{TraceID: 1}},
+	}
+	for _, m := range msgs {
+		t.Run(m.Kind().String(), func(t *testing.T) {
+			assertEqual(t, roundTrip(t, m), m)
+		})
+	}
+}
+
+// TestTraceAbsentCompat pins the backward-compatibility contract: a zero
+// trace context adds no bytes, so the encoding is identical to what a peer
+// that predates tracing produces, and such old frames decode to a zero
+// Trace field.
+func TestTraceAbsentCompat(t *testing.T) {
+	// Byte-for-byte: the traced struct with a zero context encodes exactly
+	// like the pre-trace wire format (reconstructed by hand here).
+	var e encoder
+	e.u8(uint8(KindWriteReq))
+	e.u64(7)
+	e.str("obj")
+	e.bytes([]byte("data"))
+	oldFrame := e.buf
+
+	newFrame, err := Encode(WriteReq{Seq: 7, Object: "obj", Data: []byte("data")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldFrame, newFrame) {
+		t.Fatalf("zero-trace encoding diverged from old format:\n old %x\n new %x", oldFrame, newFrame)
+	}
+
+	// And the old frame decodes with a zero Trace.
+	m, err := Decode(oldFrame)
+	if err != nil {
+		t.Fatalf("old frame rejected: %v", err)
+	}
+	if got := m.(WriteReq).Trace; !got.IsZero() {
+		t.Errorf("old frame decoded with trace %+v", got)
+	}
+
+	// Same for a push-style Invalidate, whose Objects list is the last base
+	// field before the optional trace.
+	var e2 encoder
+	e2.u8(uint8(KindInvalidate))
+	e2.u64(0)
+	e2.objects([]core.ObjectID{"x", "y"})
+	m2, err := Decode(e2.buf)
+	if err != nil {
+		t.Fatalf("old Invalidate rejected: %v", err)
+	}
+	inv := m2.(Invalidate)
+	if !inv.Trace.IsZero() || len(inv.Objects) != 2 {
+		t.Errorf("old Invalidate decoded as %+v", inv)
+	}
+}
+
+// TestTraceNonCanonicalRejected: an explicitly-present all-zero trace
+// section does not survive a re-encode (it would encode as absent), so the
+// decoder rejects it to keep accepted messages canonical.
+func TestTraceNonCanonicalRejected(t *testing.T) {
+	buf, err := Encode(WriteReq{Seq: 1, Object: "o", Data: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0, 0) // TraceID=0, SpanID=0, explicitly present
+	if _, err := Decode(buf); err == nil {
+		t.Error("present-but-zero trace context accepted")
+	}
+}
+
+// TestTraceTruncatedRejected: cutting inside the trace section must error.
+// Cutting exactly at the base/trace boundary is legal by design — it is an
+// old-format frame — so those cuts are skipped.
+func TestTraceTruncatedRejected(t *testing.T) {
+	base, err := Encode(WriteReq{Seq: 9, Object: "obj", Data: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Encode(WriteReq{Seq: 9, Object: "obj", Data: []byte("d"),
+		Trace: TraceContext{TraceID: 1 << 40, SpanID: 1 << 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) <= len(base) {
+		t.Fatalf("trace added no bytes: base %d traced %d", len(base), len(traced))
+	}
+	for cut := len(base) + 1; cut < len(traced); cut++ {
+		if _, err := Decode(traced[:cut]); err == nil {
+			t.Errorf("frame cut mid-trace at %d accepted", cut)
+		}
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	msgs := []Message{

@@ -18,6 +18,18 @@ func FuzzDecode(f *testing.F) {
 			Renew: []LeaseMeta{{Object: "b", Version: 1}}},
 		RenewObjLeases{Seq: 4, Volume: "v", Held: []core.HeldObject{{Object: "a", Version: 2}}},
 		Error{Seq: 5, Code: ErrCodeBadRequest, Msg: "m"},
+		// Trace-context variants: present, absent, and partially-populated,
+		// so the fuzzer explores the optional trailing section from both
+		// sides of the compatibility boundary.
+		WriteReq{Seq: 6, Object: "o", Data: []byte("d"),
+			Trace: TraceContext{TraceID: 7, SpanID: 8}},
+		WriteReq{Seq: 6, Object: "o", Data: []byte("d")},
+		WriteReply{Seq: 6, Object: "o", Version: 1,
+			Trace: TraceContext{TraceID: 1 << 33, SpanID: 2}},
+		Invalidate{Objects: []core.ObjectID{"a"},
+			Trace: TraceContext{TraceID: 9, SpanID: 10}},
+		AckInvalidate{Volume: "v", Objects: []core.ObjectID{"a"},
+			Trace: TraceContext{SpanID: 11}},
 	}
 	for _, m := range seeds {
 		buf, err := Encode(m)

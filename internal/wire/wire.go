@@ -74,6 +74,20 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// TraceContext identifies the causal trace a message belongs to. TraceID
+// names the end-to-end operation (one client write and everything it
+// triggers); SpanID names the sender's span, which receivers use as the
+// parent of any spans they open. The zero TraceContext means "untraced" and
+// is encoded as an absent field, so peers that predate tracing interoperate:
+// their frames simply decode with a zero TraceContext.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// IsZero reports whether the context carries no trace.
+func (t TraceContext) IsZero() bool { return t.TraceID == 0 && t.SpanID == 0 }
+
 // Message is any protocol message.
 type Message interface {
 	// Kind identifies the concrete type.
@@ -155,10 +169,11 @@ func (VolLease) Kind() Kind { return KindVolLease }
 func (m VolLease) Sequence() uint64 { return m.Seq }
 
 // Invalidate is the server's INVALIDATE push (Seq 0 when initiated by a
-// write).
+// write). Trace, when set, links the push to the write that caused it.
 type Invalidate struct {
 	Seq     uint64
 	Objects []core.ObjectID
+	Trace   TraceContext
 }
 
 // Kind implements Message.
@@ -168,11 +183,13 @@ func (Invalidate) Kind() Kind { return KindInvalidate }
 func (m Invalidate) Sequence() uint64 { return m.Seq }
 
 // AckInvalidate is the client's ACK_INVALIDATE, echoing the invalidated
-// objects (and conversation Seq when part of a volume renewal).
+// objects (and conversation Seq when part of a volume renewal). Trace
+// echoes the Invalidate's context so the ack joins the write's trace.
 type AckInvalidate struct {
 	Seq     uint64
 	Volume  core.VolumeID
 	Objects []core.ObjectID
+	Trace   TraceContext
 }
 
 // Kind implements Message.
@@ -233,11 +250,13 @@ func (InvalRenew) Kind() Kind { return KindInvalRenew }
 func (m InvalRenew) Sequence() uint64 { return m.Seq }
 
 // WriteReq asks the server to modify an object (used by origin/publisher
-// clients and tools).
+// clients and tools). Trace, when set, makes the server's write span a
+// child of the client's.
 type WriteReq struct {
 	Seq    uint64
 	Object core.ObjectID
 	Data   []byte
+	Trace  TraceContext
 }
 
 // Kind implements Message.
@@ -247,12 +266,14 @@ func (WriteReq) Kind() Kind { return KindWriteReq }
 func (m WriteReq) Sequence() uint64 { return m.Seq }
 
 // WriteReply reports a completed write: the new version and how long the
-// server waited for invalidation acknowledgments.
+// server waited for invalidation acknowledgments. Trace echoes the
+// request's context.
 type WriteReply struct {
 	Seq     uint64
 	Object  core.ObjectID
 	Version core.Version
 	Waited  time.Duration
+	Trace   TraceContext
 }
 
 // Kind implements Message.
