@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench figures fuzz examples clean
+.PHONY: all build vet lint staticcheck test race check cover bench figures fuzz examples clean
 
 all: check
 
@@ -12,14 +12,34 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific analyzers (clock injection, shard lock order, wire
+# encode/decode symmetry, metric hygiene, goroutine shutdown wiring). See
+# DESIGN.md "Static analysis"; suppress a finding with
+# `//lint:allow <analyzer> — reason`.
+lint:
+	$(GO) run ./cmd/leasevet ./...
+
+# Pinned staticcheck. `go run pkg@version` needs the module cache or
+# network to resolve the tool, so hermetic environments skip with a notice
+# instead of failing the gate — but when the tool IS resolvable, its
+# findings do fail the build.
+STATICCHECK_VERSION ?= 2024.1.1
+STATICCHECK := $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+staticcheck:
+	@if $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(STATICCHECK) ./... ; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/... ./cmd/...
+	$(GO) test -race ./...
 
 # The full gate: compile, static checks, tests, and the race detector.
-check: build vet test race
+check: build vet lint staticcheck test race
 
 cover:
 	$(GO) test -cover ./internal/...

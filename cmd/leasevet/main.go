@@ -1,0 +1,86 @@
+// Command leasevet runs the project's static analyzer suite (internal/lint)
+// over the lease stack and exits non-zero on any finding. It is the `make
+// lint` entry point and runs in CI; see DESIGN.md's "Static analysis"
+// section for what each analyzer enforces and why.
+//
+// Usage:
+//
+//	leasevet [-list] [-only analyzer[,analyzer]] [packages]
+//
+// Packages default to ./... relative to the current directory. Findings
+// print as file:line:col: message (analyzer). A finding is suppressed by
+// annotating its line (or the line above) with
+//
+//	//lint:allow <analyzer> — reason
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leasevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var subset []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				subset = append(subset, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(stderr, "leasevet: unknown analyzer %q\n", n)
+			return 2
+		}
+		analyzers = subset
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers, true)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "leasevet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

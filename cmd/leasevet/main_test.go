@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the smoke test `make lint` relies on: the committed
+// repository must produce zero findings.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", "../.."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+// TestFailsOnViolation builds a throwaway module whose path puts it inside
+// clockcheck's scope and plants a wall-clock read; leasevet must exit
+// non-zero and name the call.
+func TestFailsOnViolation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module repro/internal/server\n\ngo 1.22\n")
+	write("bad.go", `package server
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-dir", dir, "."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "time.Now") || !strings.Contains(stdout.String(), "clockcheck") {
+		t.Fatalf("finding does not name the violation:\n%s", stdout.String())
+	}
+}
+
+// TestAllowSuppresses plants the same violation with the escape hatch.
+func TestAllowSuppresses(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module repro/internal/server\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package server
+
+import "time"
+
+func Stamp() time.Time {
+	//lint:allow clockcheck — test fixture
+	return time.Now()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "ok.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir, "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0 (allow must suppress)\nstdout:\n%s", code, stdout.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"clockcheck", "lockorder", "wiresym", "metricreg", "ctxclean"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestOnlyFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 for unknown analyzer", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "wiresym", "-dir", "../..", "repro/internal/wire"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

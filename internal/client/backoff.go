@@ -8,6 +8,10 @@ import (
 	"repro/internal/core"
 )
 
+// Note: this file must not read the wall clock directly (see the clockcheck
+// analyzer); the caller supplies the time-dependent half of the seed from
+// its injected clock.
+
 // redialBackoff produces the delays between reconnection attempts: capped
 // exponential growth with ±50% jitter. The jitter matters at scale — a
 // server restart disconnects every client at the same instant, and without
@@ -22,11 +26,13 @@ type redialBackoff struct {
 }
 
 // newRedialBackoff builds a schedule starting at initial and doubling up to
-// max. Both must be positive.
-func newRedialBackoff(initial, max time.Duration, id core.ClientID) *redialBackoff {
+// max. Both must be positive. seed decorrelates schedules across restarts;
+// callers pass their injected clock's current nanos (it is XORed with a hash
+// of the client ID, so clients sharing a seed still diverge).
+func newRedialBackoff(initial, max time.Duration, id core.ClientID, seed int64) *redialBackoff {
 	h := fnv.New64a()
 	h.Write([]byte(id))
-	seed := int64(h.Sum64()) ^ time.Now().UnixNano()
+	seed ^= int64(h.Sum64())
 	return &redialBackoff{cur: initial, max: max, rng: rand.New(rand.NewSource(seed))}
 }
 

@@ -7,7 +7,7 @@ import (
 
 func TestRedialBackoffJitterBounds(t *testing.T) {
 	const initial, cap = 10 * time.Millisecond, time.Second
-	bo := newRedialBackoff(initial, cap, "c1")
+	bo := newRedialBackoff(initial, cap, "c1", 1)
 	nominal := initial
 	for i := 0; i < 12; i++ {
 		d := bo.next()
@@ -29,7 +29,7 @@ func TestRedialBackoffJitterBounds(t *testing.T) {
 
 func TestRedialBackoffConfigurableCap(t *testing.T) {
 	const capped = 80 * time.Millisecond
-	bo := newRedialBackoff(10*time.Millisecond, capped, "c1")
+	bo := newRedialBackoff(10*time.Millisecond, capped, "c1", 1)
 	for i := 0; i < 20; i++ {
 		if d := bo.next(); d >= capped+capped/2 {
 			t.Fatalf("attempt %d: delay %v exceeds jittered cap %v", i, d, capped+capped/2)
@@ -42,8 +42,10 @@ func TestRedialBackoffConfigurableCap(t *testing.T) {
 // identical schedules. Without jitter every delay was deterministic
 // (10ms, 20ms, 40ms, ...) and this test fails.
 func TestRedialBackoffSchedulesDiverge(t *testing.T) {
-	a := newRedialBackoff(10*time.Millisecond, time.Second, "client-a")
-	b := newRedialBackoff(10*time.Millisecond, time.Second, "client-b")
+	// Identical seeds on purpose: the ID hash alone must decorrelate the
+	// schedules (a fleet restarted by one supervisor can share a seed).
+	a := newRedialBackoff(10*time.Millisecond, time.Second, "client-a", 7)
+	b := newRedialBackoff(10*time.Millisecond, time.Second, "client-b", 7)
 	identical := true
 	for i := 0; i < 8; i++ {
 		if a.next() != b.next() {

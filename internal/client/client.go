@@ -317,7 +317,14 @@ func (c *Client) readLoop() {
 			ch, ok := c.rpcs[m.Sequence()]
 			c.mu.Unlock()
 			if ok {
-				ch <- m
+				// The conversation channel is buffered for a full exchange,
+				// but a stalled waiter must not wedge the read pump past
+				// Close: bail out if shutdown wins the race.
+				select {
+				case ch <- m:
+				case <-c.done:
+					return
+				}
 			} else {
 				c.logf("dropping reply for unknown seq %d: %s", m.Sequence(), m.Kind())
 			}
@@ -364,7 +371,7 @@ func (c *Client) isClosed() bool {
 // redial records a SpanRedial (N = dial attempts) so reconnection storms
 // show up in /debug/spans.
 func (c *Client) redial() bool {
-	bo := newRedialBackoff(c.cfg.RedialBackoff, c.cfg.RedialBackoffCap, c.cfg.ID)
+	bo := newRedialBackoff(c.cfg.RedialBackoff, c.cfg.RedialBackoffCap, c.cfg.ID, c.cfg.Clock.Now().UnixNano())
 	sr := c.cfg.Obs.SpanRec()
 	var (
 		traceID, spanID uint64

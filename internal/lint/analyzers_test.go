@@ -1,0 +1,86 @@
+package lint
+
+import "testing"
+
+func TestClockCheckFixture(t *testing.T) { runFixture(t, ClockCheck, "clockcheck") }
+
+func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder, "lockorder") }
+
+func TestWireSymFixture(t *testing.T) { runFixture(t, WireSym, "wiresym") }
+
+func TestMetricRegFixture(t *testing.T) { runFixture(t, MetricReg, "metricreg") }
+
+func TestCtxCleanFixture(t *testing.T) { runFixture(t, CtxClean, "ctxclean") }
+
+// TestClockCheckRenamedImport verifies the analyzer follows a renamed time
+// import and ignores unrelated packages that happen to be called "time".
+func TestClockCheckRenamedImport(t *testing.T) {
+	pkg := mustParsePackage(t, "fixture/renamed", `package p
+
+import stdtime "time"
+
+func f() { _ = stdtime.Now() }
+`)
+	diags := RunAnalyzer(ClockCheck, pkg)
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %d, want 1: %v", len(diags), diags)
+	}
+
+	clean := mustParsePackage(t, "fixture/other", `package p
+
+import "example.com/other/time"
+
+func f() { _ = time.Now() }
+`)
+	if diags := RunAnalyzer(ClockCheck, clean); len(diags) != 0 {
+		t.Fatalf("flagged a non-stdlib time package: %v", diags)
+	}
+}
+
+// TestAllowRequiresMatchingAnalyzer verifies //lint:allow only suppresses
+// the named analyzer.
+func TestAllowRequiresMatchingAnalyzer(t *testing.T) {
+	pkg := mustParsePackage(t, "fixture/allow", `package p
+
+import "time"
+
+func f() {
+	//lint:allow lockorder — wrong analyzer, must not suppress
+	time.Sleep(time.Second)
+}
+`)
+	if diags := RunAnalyzer(ClockCheck, pkg); len(diags) != 1 {
+		t.Fatalf("diagnostics = %d, want 1 (allow for another analyzer must not apply): %v", len(diags), diags)
+	}
+}
+
+// TestScoped pins the analyzer-to-package policy: where each discipline is
+// enforced and, as importantly, where it is not.
+func TestScoped(t *testing.T) {
+	cases := []struct {
+		analyzer, pkg string
+		want          bool
+	}{
+		{"clockcheck", "repro/internal/server", true},
+		{"clockcheck", "repro/internal/core", true},
+		{"clockcheck", "repro/internal/clock", false},     // the one legitimate wall-clock layer
+		{"clockcheck", "repro/internal/transport", false}, // raw sockets live on real time
+		{"clockcheck", "repro/cmd/leased", false},         // daemons stamp process lifetimes
+		{"lockorder", "repro/internal/server", true},
+		{"lockorder", "repro/internal/proxy", true},
+		{"lockorder", "repro/internal/client", false},
+		{"wiresym", "repro/internal/wire", true},
+		{"wiresym", "repro/internal/server", false},
+		{"metricreg", "repro/internal/obs", true},
+		{"metricreg", "repro/cmd/leased", true},
+		{"metricreg", "other/module", false},
+		{"ctxclean", "repro/internal/server", true},
+		{"ctxclean", "repro/internal/sim", false}, // simulation steps synchronously
+		{"nosuch", "repro/internal/server", false},
+	}
+	for _, c := range cases {
+		if got := Scoped(c.analyzer, c.pkg); got != c.want {
+			t.Errorf("Scoped(%q, %q) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}

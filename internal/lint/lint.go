@@ -1,0 +1,258 @@
+// Package lint implements leasevet: a suite of project-specific static
+// analyzers that mechanically enforce the lease stack's hand-written
+// disciplines — clock injection, shard lock order, wire encode/decode
+// symmetry, metric registration hygiene, and goroutine shutdown wiring.
+// The invariants themselves are argued in DESIGN.md; each analyzer turns
+// one of those arguments into a build-time check (`make lint`).
+//
+// The suite is deliberately self-contained: it is built on go/ast and
+// go/parser only (no golang.org/x/tools dependency), mirroring the shape
+// of a go/analysis pass — an Analyzer with a Run func over a Pass — so it
+// can run in hermetic build environments. Analysis is syntactic; the
+// analyzers encode project idioms (field names like `mu`, helpers like
+// `allShards`), which is exactly what makes them precise here and useless
+// anywhere else.
+//
+// A finding can be suppressed by annotating the offending line (or the
+// line above it) with
+//
+//	//lint:allow <analyzer>[,<analyzer>...] — reason
+//
+// The reason is not parsed but is mandatory by convention: an allow
+// without an argument for why the invariant does not apply is a review
+// smell.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, with its position already resolved so callers
+// can print it without the originating FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	PkgPath  string
+	Files    []*ast.File
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full leasevet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ClockCheck,
+		LockOrder,
+		WireSym,
+		MetricReg,
+		CtxClean,
+	}
+}
+
+// Package is one loaded (parsed, not type-checked) package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// RunAnalyzer applies one analyzer to one package and returns its findings
+// with //lint:allow suppressions already filtered out.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{Analyzer: a, Fset: pkg.Fset, PkgPath: pkg.Path, Files: pkg.Files}
+	a.Run(pass)
+	allowed := allowLines(pkg, a.Name)
+	out := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !allowed[fileLine{d.Pos.Filename, d.Pos.Line}] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package. With scoped set, each
+// analyzer only sees the packages named by Scoped — the policy used by
+// cmd/leasevet; tests run analyzers unscoped over fixture packages.
+func Run(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if scoped && !Scoped(a.Name, pkg.Path) {
+				continue
+			}
+			out = append(out, RunAnalyzer(a, pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_,-]+)`)
+
+// allowLines collects the lines on which findings of the named analyzer are
+// suppressed: the line of each matching //lint:allow comment and the line
+// after it (covering both trailing and standalone comment placement).
+func allowLines(pkg *Package, analyzer string) map[fileLine]bool {
+	out := make(map[fileLine]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				match := false
+				for _, n := range names {
+					if strings.TrimSpace(n) == analyzer {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[fileLine{pos.Filename, pos.Line}] = true
+				out[fileLine{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return out
+}
+
+// --- shared syntactic helpers ---
+
+// importName reports the file-local name under which path is imported, or
+// "" when it is not imported. The default name is the last path element;
+// blank and dot imports return "" (callers treat them as not addressable).
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// exprString renders a selector/ident chain compactly ("s.cfg.Recorder").
+// Non-chain expressions render their last component best-effort.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	case *ast.StarExpr:
+		return exprString(v.X)
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	default:
+		return "?"
+	}
+}
+
+// lastSelector reports the final component of a selector chain ("mu" for
+// sh.mu), or the identifier name itself.
+func lastSelector(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.ParenExpr:
+		return lastSelector(v.X)
+	default:
+		return ""
+	}
+}
+
+// funcBodies yields every function-shaped body in the file: declarations
+// and function literals, each paired with a display name.
+func funcBodies(f *ast.File) []namedBody {
+	var out []namedBody
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, namedBody{fd.Name.Name, fd.Body})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, namedBody{fd.Name.Name + ".func", lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type namedBody struct {
+	name string
+	body *ast.BlockStmt
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoIsClean runs the full scoped suite over the real repository — the
+// same check `make lint` performs. The repo must stay clean: a finding here
+// either reveals a real violation (fix it) or an analyzer false positive
+// (fix the analyzer, or annotate the site with //lint:allow and a reason).
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern resolution looks broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers(), true) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadExcludesTests verifies the loader's deliberate exclusion of
+// _test.go files: tests drive scenarios with wall clocks and raw goroutines
+// by design.
+func TestLoadExcludesTests(t *testing.T) {
+	pkgs, err := Load("../..", []string{"repro/internal/client"})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages = %d, want 1", len(pkgs))
+	}
+	for _, f := range pkgs[0].Files {
+		name := pkgs[0].Fset.Position(f.Pos()).Filename
+		if len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			t.Errorf("loader included test file %s", name)
+		}
+	}
+}

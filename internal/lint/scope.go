@@ -1,0 +1,52 @@
+package lint
+
+import "strings"
+
+// Scoped reports whether the named analyzer applies to pkgPath. Each
+// analyzer encodes a discipline that holds in specific layers of the stack:
+//
+//   - clockcheck: every package that does lease mathematics or event
+//     timestamping must use the injected clock.Clock so simulated and live
+//     timelines agree (internal/clock itself and the raw transport are the
+//     only legitimate wall-clock layers).
+//   - lockorder: the shard/table locking discipline lives in the server and
+//     the proxy (the two lease-granting roles).
+//   - wiresym: encode/decode symmetry is a property of internal/wire.
+//   - metricreg: metric naming and nil-guard hygiene apply repo-wide.
+//   - ctxclean: shutdown wiring applies to every package that spawns
+//     long-lived goroutines in the live stack.
+func Scoped(analyzer, pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "repro/") && pkgPath != "repro" {
+		return false
+	}
+	sub, isInternal := strings.CutPrefix(pkgPath, "repro/internal/")
+	top := sub
+	if i := strings.Index(sub, "/"); i >= 0 {
+		top = sub[:i]
+	}
+	in := func(names ...string) bool {
+		if !isInternal {
+			return false
+		}
+		for _, n := range names {
+			if top == n {
+				return true
+			}
+		}
+		return false
+	}
+	switch analyzer {
+	case "clockcheck":
+		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics")
+	case "lockorder":
+		return in("server", "proxy")
+	case "wiresym":
+		return in("wire")
+	case "metricreg":
+		return true
+	case "ctxclean":
+		return in("server", "client", "proxy", "obs", "loadtl", "audit")
+	default:
+		return false
+	}
+}

@@ -1,0 +1,36 @@
+package fixture
+
+import (
+	"time"
+
+	"repro/internal/clock"
+)
+
+// bad samples the wall clock directly.
+func bad() {
+	now := time.Now()             // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)       // want `time\.Sleep reads the wall clock`
+	ch := time.After(time.Minute) // want `time\.After reads the wall clock`
+	d := time.Since(now)          // want `time\.Since reads the wall clock`
+	_, _ = ch, d
+}
+
+// good uses the injected clock; durations and types from package time are
+// not wall-clock reads.
+func good(clk clock.Clock) (time.Time, time.Duration) {
+	timeout := 5 * time.Second
+	deadline := clk.Now().Add(timeout)
+	return deadline, timeout
+}
+
+// allowed demonstrates the escape hatch: a process-lifetime stamp that is
+// never compared against lease expiries.
+func allowed() time.Time {
+	//lint:allow clockcheck — process start stamp, not lease math
+	return time.Now()
+}
+
+// allowedTrailing exercises the same-line form.
+func allowedTrailing() time.Time {
+	return time.Now() //lint:allow clockcheck — same-line suppression
+}

@@ -1,0 +1,76 @@
+package fixture
+
+type server struct {
+	ch     chan int
+	done   chan struct{}
+	closed chan struct{}
+}
+
+func (s *server) start() {
+	go s.badLoop() // want `without observing a shutdown signal`
+	go s.goodLoop()
+	go s.boundedLoop()
+	go func() { // want `goroutine literal loops on blocking`
+		for {
+			<-s.ch
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case v := <-s.ch:
+				_ = v
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}
+
+// badLoop blocks forever on a receive with no way out at shutdown.
+func (s *server) badLoop() {
+	for {
+		v := <-s.ch
+		_ = v
+	}
+}
+
+// goodLoop selects on the closed channel.
+func (s *server) goodLoop() {
+	for {
+		select {
+		case v := <-s.ch:
+			_ = v
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// boundedLoop is not an infinite `for {}`: it exits by its condition, so
+// a shutdown signal is not required.
+func (s *server) boundedLoop() {
+	for i := 0; i < 8; i++ {
+		v := <-s.ch
+		_ = v
+	}
+}
+
+type worker struct {
+	in chan int
+}
+
+// ctxStyle watches a context; the received Done() counts as a shutdown
+// signal.
+func (w *worker) run(ctx interface{ Done() <-chan struct{} }) {
+	go func() {
+		for {
+			select {
+			case v := <-w.in:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

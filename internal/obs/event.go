@@ -67,21 +67,21 @@ const (
 )
 
 var eventNames = [...]string{
-	EvObjLeaseGrant:  "obj-lease-grant",
-	EvVolLeaseGrant:  "vol-lease-grant",
-	EvLeaseExpire:    "lease-expire",
-	EvInvalSent:      "inval-sent",
-	EvInvalRecv:      "inval-recv",
-	EvInvalAcked:     "inval-acked",
-	EvWriteBlocked:   "write-blocked",
-	EvWriteUnblocked: "write-unblocked",
-	EvSlowOp:         "slow-op",
-	EvEpochBump:      "epoch-bump",
-	EvReconnect:      "reconnect",
-	EvUnreachable:    "unreachable",
-	EvConnect:        "connect",
-	EvDisconnect:     "disconnect",
-	EvRedial:         "redial",
+	EvObjLeaseGrant:    "obj-lease-grant",
+	EvVolLeaseGrant:    "vol-lease-grant",
+	EvLeaseExpire:      "lease-expire",
+	EvInvalSent:        "inval-sent",
+	EvInvalRecv:        "inval-recv",
+	EvInvalAcked:       "inval-acked",
+	EvWriteBlocked:     "write-blocked",
+	EvWriteUnblocked:   "write-unblocked",
+	EvSlowOp:           "slow-op",
+	EvEpochBump:        "epoch-bump",
+	EvReconnect:        "reconnect",
+	EvUnreachable:      "unreachable",
+	EvConnect:          "connect",
+	EvDisconnect:       "disconnect",
+	EvRedial:           "redial",
 	EvMsgSent:          "msg-sent",
 	EvMsgRecv:          "msg-recv",
 	EvCacheRead:        "cache-read",

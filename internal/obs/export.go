@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // summaryQuantiles are the quantile labels exported for every histogram.
@@ -122,19 +124,22 @@ func varsHandler(r *Registry) http.HandlerFunc {
 //
 //	?type=vol-lease-grant   — only events of that type (repeatable)
 //	?since=5s | ?since=RFC3339 — only events at or after the cutoff
-//	  (a duration is taken relative to now)
-func eventsHandler(ring *RingSink) http.HandlerFunc {
+//	  (a duration is taken relative to now on the injected clock)
+//
+// clk supplies "now" for relative ?since= windows, so a stack running on a
+// simulated clock filters against the timeline its events were stamped on.
+func eventsHandler(ring *RingSink, clk clock.Clock) http.HandlerFunc {
 	type jsonEvent struct {
-		Type    string    `json:"type"`
-		At      time.Time `json:"at"`
-		Node    string    `json:"node,omitempty"`
-		Client  string    `json:"client,omitempty"`
-		Object  string    `json:"object,omitempty"`
-		Volume  string    `json:"volume,omitempty"`
-		Epoch   int64     `json:"epoch,omitempty"`
-		Msg     string    `json:"msg,omitempty"`
-		N       int       `json:"n,omitempty"`
-		DurNS   int64     `json:"dur_ns,omitempty"`
+		Type    string     `json:"type"`
+		At      time.Time  `json:"at"`
+		Node    string     `json:"node,omitempty"`
+		Client  string     `json:"client,omitempty"`
+		Object  string     `json:"object,omitempty"`
+		Volume  string     `json:"volume,omitempty"`
+		Epoch   int64      `json:"epoch,omitempty"`
+		Msg     string     `json:"msg,omitempty"`
+		N       int        `json:"n,omitempty"`
+		DurNS   int64      `json:"dur_ns,omitempty"`
 		Version int64      `json:"version,omitempty"`
 		Expire  *time.Time `json:"expire,omitempty"`
 	}
@@ -147,7 +152,7 @@ func eventsHandler(ring *RingSink) http.HandlerFunc {
 		var since time.Time
 		if s := q.Get("since"); s != "" {
 			if d, err := time.ParseDuration(s); err == nil {
-				since = time.Now().Add(-d)
+				since = clk.Now().Add(-d)
 			} else if at, err := time.Parse(time.RFC3339Nano, s); err == nil {
 				since = at
 			} else {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Route is an extra endpoint mounted on the debug mux — e.g. an audit
@@ -25,7 +27,17 @@ type Route struct {
 // plus any extra routes. The pprof handlers are wired explicitly so the
 // daemon does not depend on http.DefaultServeMux (which blank-importing
 // net/http/pprof would mutate).
+//
+// Handler resolves relative ?since= windows on /debug/events against the
+// real clock; a stack running on simulated time should use HandlerClock so
+// the window is computed on the timeline its events were stamped on.
 func Handler(reg *Registry, ring *RingSink, extra ...Route) http.Handler {
+	return HandlerClock(clock.Real{}, reg, ring, extra...)
+}
+
+// HandlerClock is Handler with an injected clock for time-relative query
+// handling.
+func HandlerClock(clk clock.Clock, reg *Registry, ring *RingSink, extra ...Route) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", metricsHandler(reg))
 	mux.HandleFunc("/debug/vars", varsHandler(reg))
@@ -36,7 +48,7 @@ func Handler(reg *Registry, ring *RingSink, extra ...Route) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	index := "lease debug server\n\n/metrics\n/debug/vars\n/debug/pprof/"
 	if ring != nil {
-		mux.HandleFunc("/debug/events", eventsHandler(ring))
+		mux.HandleFunc("/debug/events", eventsHandler(ring, clk))
 		index += "\n/debug/events"
 	}
 	for _, rt := range extra {
@@ -60,15 +72,22 @@ type DebugServer struct {
 }
 
 // Serve binds addr (":0" picks a free port) and serves the debug mux in the
-// background until Close.
+// background until Close. Like Handler, it uses the real clock; ServeClock
+// injects one.
 func Serve(addr string, reg *Registry, ring *RingSink, extra ...Route) (*DebugServer, error) {
+	return ServeClock(clock.Real{}, addr, reg, ring, extra...)
+}
+
+// ServeClock is Serve with an injected clock for time-relative query
+// handling.
+func ServeClock(clk clock.Clock, addr string, reg *Registry, ring *RingSink, extra ...Route) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	d := &DebugServer{
 		ln:  ln,
-		srv: &http.Server{Handler: Handler(reg, ring, extra...), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: HandlerClock(clk, reg, ring, extra...), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = d.srv.Serve(ln) }()
 	return d, nil

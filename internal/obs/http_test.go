@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
@@ -99,5 +101,34 @@ func TestDebugEventsFilters(t *testing.T) {
 
 	if code, _ := get("/debug/events?since=not-a-time"); code != 400 {
 		t.Errorf("bad since = %d, want 400", code)
+	}
+}
+
+// TestDebugEventsSinceSimulatedClock pins the clock-injection contract:
+// relative ?since= windows are resolved against the injected clock, so a
+// stack stamping events on simulated time filters on that timeline — not
+// on the wall clock, which may be decades away from it.
+func TestDebugEventsSinceSimulatedClock(t *testing.T) {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := clock.NewSimulated(base)
+
+	ring := NewRingSink(16)
+	ring.Observe(Event{Type: EvConnect, Client: "c1", At: base.Add(-time.Hour)})
+	ring.Observe(Event{Type: EvWriteApplied, Object: "a", Version: 1, At: base.Add(-time.Minute)})
+
+	d, err := ServeClock(clk, "127.0.0.1:0", nil, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr() + "/debug/events?since=5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), `"connect"`) || !strings.Contains(string(body), "write-applied") {
+		t.Errorf("simulated-clock since window wrong: %q", body)
 	}
 }

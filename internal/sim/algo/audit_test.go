@@ -24,7 +24,9 @@ func TestAuditedAlgorithmsClean(t *testing.T) {
 		"Volume":       func(env *sim.Env) sim.Algorithm { return NewVolume(env, 15*time.Second, 200*time.Second) },
 		"VolumeGroup4": func(env *sim.Env) sim.Algorithm { return NewVolumeGrouped(env, 15*time.Second, 200*time.Second, 4) },
 		"DelayInf":     func(env *sim.Env) sim.Algorithm { return NewDelay(env, 15*time.Second, 200*time.Second, Forever) },
-		"DelayD":       func(env *sim.Env) sim.Algorithm { return NewDelay(env, 15*time.Second, 200*time.Second, 40*time.Second) },
+		"DelayD": func(env *sim.Env) sim.Algorithm {
+			return NewDelay(env, 15*time.Second, 200*time.Second, 40*time.Second)
+		},
 	}
 	strong := map[string]bool{
 		"PollEachRead": true, "Callback": true, "Lease": true,
