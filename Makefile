@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck test race check cover bench figures fuzz examples clean
+.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled flightdump figures fuzz examples loadtest clean
 
 all: check
 
@@ -63,10 +63,19 @@ bench-json:
 	$(GO) test -run '^$$' $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # Gate: the instrumented hot paths must stay allocation-free when tracing
-# is disabled (BenchmarkEmitDisabled / BenchmarkSpanDisabled report 0 B/op).
+# is disabled (BenchmarkEmitDisabled / BenchmarkSpanDisabled /
+# BenchmarkFlightDisabled report 0 B/op).
 bench-disabled:
-	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span)Disabled' -benchmem ./internal/obs | tee /dev/stderr | \
+	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span|Flight)Disabled' -benchmem ./internal/obs ./internal/health | tee /dev/stderr | \
 		awk '/Disabled/ && ($$(NF-1) != 0 || $$(NF-3) != 0) { bad = 1 } END { exit bad }'
+
+# Smoke test for the flight recorder: run the chaos scenario (partition a
+# client mid-write) and leave its dump in $(FLIGHTDUMP_DIR) for inspection,
+# exactly as a failed CI run would. See DESIGN.md §9 for the dump format.
+FLIGHTDUMP_DIR ?= flight-dumps
+flightdump:
+	FLIGHT_DUMP_DIR=$(abspath $(FLIGHTDUMP_DIR)) $(GO) test -count=1 -run TestChaosPartitionLeavesFlightDump -v ./internal/health
+	@ls -l $(FLIGHTDUMP_DIR)/flight-*.json
 
 fuzz:
 	$(GO) test ./internal/wire -run Fuzz -fuzz=FuzzDecode -fuzztime=30s

@@ -23,6 +23,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/loadtl"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -52,6 +53,7 @@ type options struct {
 	audit      bool
 	trace      bool
 	spanSample int
+	flightDir  string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -70,6 +72,8 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.audit, "audit", false, "self-contained mode: run the online consistency auditor and fail on any invariant violation")
 	fs.BoolVar(&o.trace, "trace", false, "record causal write-path spans and the per-second load timeline (summarized after the run; served at /debug/spans and /debug/load with -debug-addr)")
 	fs.IntVar(&o.spanSample, "span-sample", 1, "with -trace, record 1 in N traces")
+	fs.StringVar(&o.flightDir, "flight-dir", "flight-dumps",
+		"with -audit, write a flight recorder dump here when a violation is recorded ($FLIGHT_DUMP_DIR overrides)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -112,6 +116,7 @@ type result struct {
 	aud                   *audit.Auditor    // nil unless -audit
 	spans                 *obs.SpanRecorder // nil unless -trace
 	load                  *loadtl.Timeline  // nil unless -trace
+	health                *health.Engine    // nil unless -audit
 }
 
 // execute runs the load.
@@ -131,6 +136,7 @@ func execute(o options) (*result, error) {
 		aud      *audit.Auditor
 		spanRec  *obs.SpanRecorder
 		load     *loadtl.Timeline
+		engine   *health.Engine
 	)
 	if o.debugAddr != "" || o.audit || o.trace {
 		reg := obs.NewRegistry()
@@ -158,6 +164,34 @@ func execute(o options) (*result, error) {
 			routes = append(routes,
 				obs.Route{Path: "/debug/spans", Handler: obs.SpansHandler(spanRec)},
 				obs.Route{Path: "/debug/load", Handler: load.Handler()})
+		}
+		if o.audit {
+			// Black box for the run: on any audit violation the engine
+			// freezes the trailing event window into a dump file, so a
+			// failing benchmark leaves its evidence behind.
+			flightRec := health.NewFlightRecorder("bench", 16384, o.duration+30*time.Second)
+			flightRec.AttachSpans(spanRec)
+			flightRec.AttachTimeline(load)
+			sinks = append(sinks, flightRec)
+			engine = health.NewEngine(health.Options{
+				Node:    "bench",
+				Flight:  flightRec,
+				DumpDir: health.DumpDir(o.flightDir),
+				Tick:    200 * time.Millisecond,
+				Tail:    200 * time.Millisecond,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "leasebench: "+format+"\n", args...)
+				},
+			}, health.DefaultDetectors(health.DetectorConfig{
+				AuditViolations: func() float64 { return float64(len(aud.Violations())) },
+			})...)
+			engine.Register(reg)
+			sinks = append(sinks, engine)
+			engine.Start()
+			defer engine.Close()
+			routes = append(routes,
+				obs.Route{Path: "/debug/health", Handler: health.Handler(engine)},
+				obs.Route{Path: "/debug/flightrecorder", Handler: health.FlightHandler(engine)})
 		}
 		if len(sinks) > 0 {
 			observer.Tracer = obs.NewTracer(sinks...)
@@ -298,6 +332,7 @@ func execute(o options) (*result, error) {
 	res.aud = aud
 	res.spans = spanRec
 	res.load = load
+	res.health = engine
 	return res, nil
 }
 
@@ -363,6 +398,19 @@ func (r *result) report(out *os.File, o options) error {
 		fmt.Fprintf(out, "audit: %d events, %d stale reads, max staleness %v (bound %v)\n",
 			s.Events, s.StaleReads, s.MaxStaleness, s.StalenessBound)
 		if err := r.aud.Err(); err != nil {
+			// Exit non-zero, but leave the flight recording behind first:
+			// the engine's audit-violation rule usually dumped mid-run; if
+			// the run ended before a tick saw the violation, freeze now.
+			if rep := r.health.Snapshot(); r.health != nil {
+				if rep.DumpsWritten == 0 {
+					if path, derr := r.health.ForceDump("audit violations at end of run"); derr == nil {
+						rep.DumpFiles = append(rep.DumpFiles, path)
+					}
+				}
+				for _, f := range rep.DumpFiles {
+					fmt.Fprintf(out, "audit: flight dump %s\n", f)
+				}
+			}
 			return err
 		}
 		fmt.Fprintln(out, "audit: all invariants held")

@@ -2,10 +2,15 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -168,5 +173,94 @@ func TestExecuteTraced(t *testing.T) {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestExecuteAuditedWiresHealth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	o, err := parseFlags([]string{
+		"-audit", "-flight-dir", dir,
+		"-clients", "2", "-objects", "4", "-duration", "300ms", "-write-ratio", "0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := execute(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.health == nil {
+		t.Fatal("-audit did not wire the health engine")
+	}
+	rep := res.health.Snapshot()
+	if rep.Status != "ok" || rep.DumpsWritten != 0 {
+		t.Errorf("clean run health = %+v", rep)
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := res.report(tmp, o); err != nil {
+		t.Fatalf("clean audited run reported error: %v", err)
+	}
+}
+
+// TestAuditViolationLeavesFlightDump crafts an invariant violation (an epoch
+// moving backwards) and asserts the failing report (1) returns a non-zero
+// error, the satellite exit-code contract, and (2) leaves a parseable flight
+// dump behind.
+func TestAuditViolationLeavesFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	aud := audit.New(audit.LiveConfig(core.Config{
+		ObjectLease: time.Minute, VolumeLease: 5 * time.Second, Mode: core.ModeEager,
+	}, false))
+	flight := health.NewFlightRecorder("bench", 64, time.Minute)
+	engine := health.NewEngine(health.Options{Node: "bench", Flight: flight, DumpDir: dir})
+	now := time.Now()
+	for _, epoch := range []core.Epoch{5, 3} { // 5 then 3: epoch monotonicity breach
+		ev := obs.Event{Type: obs.EvVolLeaseGrant, At: now, Node: "srv", Client: "c", Volume: "v", Epoch: epoch}
+		aud.Observe(ev)
+		flight.Observe(ev)
+	}
+	if len(aud.Violations()) == 0 {
+		t.Fatal("crafted event stream recorded no violation")
+	}
+
+	res := &result{
+		readLat:  metrics.NewLatencyHistogram(),
+		writeLat: metrics.NewLatencyHistogram(),
+		elapsed:  time.Second,
+		aud:      aud,
+		health:   engine,
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := res.report(tmp, options{duration: time.Second}); err == nil {
+		t.Fatal("violating run reported success")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "flight-bench-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("violating run left %d dumps, want 1", len(files))
+	}
+	d, err := health.ReadDump(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 2 || d.Trigger == nil {
+		t.Fatalf("dump = %d events, trigger %+v", len(d.Events), d.Trigger)
+	}
+	out, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "audit: flight dump ") {
+		t.Errorf("report does not point at the dump:\n%s", out)
 	}
 }

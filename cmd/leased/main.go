@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/loadtl"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -74,6 +75,9 @@ type options struct {
 	spans      int
 	spanSample int
 	loadWindow int
+	flight     int
+	flightWin  time.Duration
+	flightDir  string
 
 	// net overrides the transport (tests); nil means TCP.
 	net transport.Network
@@ -90,6 +94,8 @@ type instance struct {
 	aud     *audit.Auditor
 	spans   *obs.SpanRecorder
 	load    *loadtl.Timeline
+	flight  *health.FlightRecorder
+	health  *health.Engine
 	seeded  int
 	mode    core.Mode
 	volLog  string
@@ -101,6 +107,7 @@ func (in *instance) Close() {
 	if in.debug != nil {
 		in.debug.Close()
 	}
+	in.health.Close()
 	in.srv.Close()
 }
 
@@ -153,6 +160,58 @@ func start(opts options) (*instance, error) {
 		in.load.Register(in.reg)
 		sinks = append(sinks, in.load)
 	}
+	if opts.flight > 0 {
+		in.flight = health.NewFlightRecorder(opts.volume, opts.flight, opts.flightWin)
+		in.flight.AttachTimeline(in.load)
+		sinks = append(sinks, in.flight)
+		detCfg := health.DetectorConfig{
+			// Sample funcs poll at tick time; in.srv/in.aud are set below,
+			// before the engine starts.
+			Backlog: func() float64 {
+				if in.srv == nil {
+					return 0
+				}
+				return float64(in.srv.Stats().PendingInvalidation)
+			},
+		}
+		hopts := health.Options{
+			Node:    opts.volume,
+			Flight:  in.flight,
+			DumpDir: health.DumpDir(opts.flightDir),
+			Logf:    log.Printf,
+			Sample: func() map[string]float64 {
+				if in.srv == nil {
+					return nil
+				}
+				st := in.srv.Stats()
+				return map[string]float64{
+					"object_leases":        float64(st.ObjectLeases),
+					"volume_leases":        float64(st.VolumeLeases),
+					"pending_invalidation": float64(st.PendingInvalidation),
+					"unreachable_clients":  float64(st.UnreachableClients),
+				}
+			},
+		}
+		if opts.audit {
+			detCfg.AuditViolations = func() float64 {
+				return float64(len(in.aud.Violations()))
+			}
+			// Staleness-budget burn: the worst staleness the auditor has
+			// observed as a fraction of the paper's min(t, t_v) bound.
+			bound := opts.objLease
+			if opts.volLease < bound {
+				bound = opts.volLease
+			}
+			if bound > 0 {
+				hopts.StalenessBurn = func() float64 {
+					return float64(in.aud.MaxStaleness()) / float64(bound)
+				}
+			}
+		}
+		in.health = health.NewEngine(hopts, health.DefaultDetectors(detCfg)...)
+		in.health.Register(in.reg)
+		sinks = append(sinks, in.health)
+	}
 	if len(sinks) > 0 {
 		observer.Tracer = obs.NewTracer(sinks...)
 	}
@@ -165,6 +224,7 @@ func start(opts options) (*instance, error) {
 			in.spans.SlowOp(opts.slowWrite, observer.Tracer)
 		}
 		observer.Spans = in.spans
+		in.flight.AttachSpans(in.spans)
 	}
 	obs.RegisterRecorder(in.reg, in.rec)
 	netw = transport.ObserveNetwork(netw, obs.WireObserver(observer, opts.volume, time.Now))
@@ -202,6 +262,7 @@ func start(opts options) (*instance, error) {
 		srv.Close()
 		return nil, err
 	}
+	in.health.Start()
 
 	if opts.debugAddr != "" {
 		var routes []obs.Route
@@ -213,6 +274,11 @@ func start(opts options) (*instance, error) {
 		}
 		if in.load != nil {
 			routes = append(routes, obs.Route{Path: "/debug/load", Handler: in.load.Handler()})
+		}
+		if in.health != nil {
+			routes = append(routes,
+				obs.Route{Path: "/debug/health", Handler: health.Handler(in.health)},
+				obs.Route{Path: "/debug/flightrecorder", Handler: health.FlightHandler(in.health)})
 		}
 		in.debug, err = obs.Serve(opts.debugAddr, in.reg, in.ring, routes...)
 		if err != nil {
@@ -245,6 +311,9 @@ func run() error {
 	flag.IntVar(&opts.spans, "spans", 0, "causal write-path spans kept for /debug/spans (0 = span tracing off)")
 	flag.IntVar(&opts.spanSample, "span-sample", 1, "record 1 in N traces (1 = every trace)")
 	flag.IntVar(&opts.loadWindow, "load-window", 300, "seconds of per-second load history for /debug/load and lease_load_* (0 = off)")
+	flag.IntVar(&opts.flight, "flight", 8192, "protocol events retained by the flight recorder (0 = flight recorder off)")
+	flag.DurationVar(&opts.flightWin, "flight-window", time.Minute, "trailing window a flight dump covers")
+	flag.StringVar(&opts.flightDir, "flight-dir", "flight-dumps", "directory for flight recorder dump files ($FLIGHT_DUMP_DIR overrides)")
 	flag.Parse()
 
 	in, err := start(opts)
@@ -269,6 +338,9 @@ func run() error {
 		if in.load != nil {
 			endpoints += " /debug/load"
 		}
+		if in.health != nil {
+			endpoints += " /debug/health /debug/flightrecorder"
+		}
 		log.Printf("leased: debug server on http://%s (%s)", in.debug.Addr(), endpoints)
 	}
 
@@ -286,7 +358,14 @@ func run() error {
 	<-sig
 	log.Println("leased: shutting down")
 	if in.aud != nil {
-		return in.aud.Err()
+		if err := in.aud.Err(); err != nil {
+			// Leave the black box behind: freeze the flight recorder next to
+			// the non-zero exit so the violation window can be examined.
+			if path, derr := in.health.ForceDump("audit violations at shutdown"); derr == nil {
+				log.Printf("leased: wrote flight dump %s", path)
+			}
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,366 @@
+// Command leasemon is the fleet health monitor: it scrapes /debug/health
+// and /metrics from a list of lease-stack debug endpoints and renders one
+// fleet-wide status table, and it can fetch and pretty-print a flight
+// recorder dump from any node.
+//
+// Usage:
+//
+//	leasemon host:port [host:port ...]          fleet status table
+//	leasemon -dumps host:port                   list flight dumps on one node
+//	leasemon -dump latest host:port             fetch + pretty-print the newest dump
+//	leasemon -dump flight-....json host:port    fetch + pretty-print one dump
+//	leasemon -freeze host:port                  force the node to write a dump
+//
+// Endpoints are the debug addresses the daemons expose via -debug-addr.
+// The exit status is 0 when every endpoint is healthy, 1 on a usage or
+// scrape failure, and 2 when the fleet is reachable but some detector is
+// firing — so leasemon drops into cron and CI gates unchanged.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/health"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(out, errw io.Writer, argv []string) int {
+	fs := flag.NewFlagSet("leasemon", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	timeout := fs.Duration("timeout", 3*time.Second, "per-endpoint scrape timeout")
+	dump := fs.String("dump", "", "fetch one dump from the endpoint: a flight-*.json name, or 'latest'")
+	dumps := fs.Bool("dumps", false, "list the endpoint's flight dump files")
+	freeze := fs.Bool("freeze", false, "force the endpoint to freeze its flight recorder to disk")
+	raw := fs.Bool("raw", false, "with -dump: emit the raw JSON instead of the pretty view")
+	events := fs.Int("events", 20, "with -dump: how many trailing events to print (0 = all)")
+	if err := fs.Parse(argv); err != nil {
+		return 1
+	}
+	eps := fs.Args()
+	if len(eps) == 0 {
+		fmt.Fprintln(errw, "leasemon: at least one debug endpoint (host:port) required")
+		fs.Usage()
+		return 1
+	}
+	cl := &http.Client{Timeout: *timeout}
+
+	var err error
+	switch {
+	case *dump != "":
+		err = fetchDump(out, cl, eps[0], *dump, *raw, *events)
+	case *dumps:
+		err = listDumps(out, cl, eps[0])
+	case *freeze:
+		err = freezeDump(out, cl, eps[0])
+	default:
+		return fleet(out, errw, cl, eps)
+	}
+	if err != nil {
+		fmt.Fprintln(errw, "leasemon:", err)
+		return 1
+	}
+	return 0
+}
+
+// row is one endpoint's scraped state in the fleet table.
+type row struct {
+	endpoint string
+	report   health.Report
+	series   int     // lease_* series on /metrics
+	msgs     float64 // lease_net_msgs_total summed over directions, if exported
+	err      error
+}
+
+// fleet scrapes every endpoint concurrently and renders the table.
+func fleet(out, errw io.Writer, cl *http.Client, eps []string) int {
+	rows := make([]row, len(eps))
+	done := make(chan int, len(eps))
+	for i, ep := range eps {
+		go func(i int, ep string) {
+			rows[i] = scrape(cl, ep)
+			done <- i
+		}(i, ep)
+	}
+	for range eps {
+		<-done
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tNODE\tSTATUS\tFIRING\tTRIGGERS\tDUMPS\tBURN\tSERIES")
+	exit := 0
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\n", r.endpoint)
+			fmt.Fprintf(errw, "leasemon: %s: %v\n", r.endpoint, r.err)
+			exit = 1
+			continue
+		}
+		rep := r.report
+		var firing []string
+		var triggers int64
+		for _, d := range rep.Detectors {
+			triggers += d.Triggers
+			if d.State == "firing" {
+				firing = append(firing, d.Name)
+			}
+		}
+		firingCol := "-"
+		if len(firing) > 0 {
+			firingCol = strings.Join(firing, ",")
+			if exit == 0 {
+				exit = 2
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%.2f\t%d\n",
+			r.endpoint, rep.Node, rep.Status, firingCol, triggers, rep.DumpsWritten, rep.StalenessBurn, r.series)
+	}
+	tw.Flush()
+	return exit
+}
+
+// scrape pulls one endpoint's /debug/health report and /metrics exposition.
+func scrape(cl *http.Client, ep string) row {
+	r := row{endpoint: ep}
+	body, err := get(cl, ep, "/debug/health")
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if err := json.Unmarshal(body, &r.report); err != nil {
+		r.err = fmt.Errorf("/debug/health: %w", err)
+		return r
+	}
+	body, err = get(cl, ep, "/metrics")
+	if err != nil {
+		r.err = err
+		return r
+	}
+	series := parseProm(body)
+	for name, v := range series {
+		if strings.HasPrefix(name, "lease_") {
+			r.series++
+		}
+		if strings.HasPrefix(name, "lease_net_msgs_total") {
+			r.msgs += v
+		}
+	}
+	return r
+}
+
+// parseProm reads Prometheus text exposition into full-series-name → value.
+func parseProm(body []byte) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func get(cl *http.Client, ep, path string) ([]byte, error) {
+	resp, err := cl.Get("http://" + ep + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// listDumps prints one node's dump files.
+func listDumps(out io.Writer, cl *http.Client, ep string) error {
+	infos, err := dumpList(cl, ep)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Fprintln(out, "no flight dumps")
+		return nil
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tBYTES\tMODIFIED")
+	for _, in := range infos {
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", in.Name, in.Bytes, in.Modified.Format(time.RFC3339))
+	}
+	return tw.Flush()
+}
+
+func dumpList(cl *http.Client, ep string) ([]health.DumpInfo, error) {
+	body, err := get(cl, ep, "/debug/flightrecorder?list=1")
+	if err != nil {
+		return nil, err
+	}
+	var infos []health.DumpInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		return nil, fmt.Errorf("dump list: %w", err)
+	}
+	return infos, nil
+}
+
+// freezeDump forces the node to write a dump and reports the path.
+func freezeDump(out io.Writer, cl *http.Client, ep string) error {
+	resp, err := cl.Post("http://"+ep+"/debug/flightrecorder?freeze=1", "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("freeze: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var got struct {
+		Path string `json:"path"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		return fmt.Errorf("freeze: %w", err)
+	}
+	fmt.Fprintln(out, "froze flight recorder:", got.Path)
+	return nil
+}
+
+// fetchDump retrieves one dump ("latest" resolves against the listing) and
+// pretty-prints it.
+func fetchDump(out io.Writer, cl *http.Client, ep, name string, raw bool, tail int) error {
+	if name == "latest" {
+		infos, err := dumpList(cl, ep)
+		if err != nil {
+			return err
+		}
+		if len(infos) == 0 {
+			return fmt.Errorf("%s has no flight dumps", ep)
+		}
+		latest := infos[0]
+		for _, in := range infos[1:] {
+			if in.Modified.After(latest.Modified) || (in.Modified.Equal(latest.Modified) && in.Name > latest.Name) {
+				latest = in
+			}
+		}
+		name = latest.Name
+	}
+	body, err := get(cl, ep, "/debug/flightrecorder?file="+name)
+	if err != nil {
+		return err
+	}
+	if raw {
+		_, err := out.Write(body)
+		return err
+	}
+	d, err := health.ParseDump(strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	printDump(out, name, d, tail)
+	return nil
+}
+
+// printDump renders the operator view of one dump: the verdict first, then
+// the shape of the window, then the trailing event timeline.
+func printDump(out io.Writer, name string, d health.Dump, tail int) {
+	fmt.Fprintf(out, "flight dump %s\n", name)
+	fmt.Fprintf(out, "  node:    %s\n", d.Node)
+	fmt.Fprintf(out, "  written: %s (window %ds)\n", d.WrittenAt.Format(time.RFC3339Nano), d.WindowSeconds)
+	if d.Trigger != nil {
+		fmt.Fprintf(out, "  trigger: %s at %s\n", d.Trigger, d.Trigger.At.Format(time.RFC3339Nano))
+		fmt.Fprintf(out, "  context: %v before the trigger\n", d.PreTriggerSpan())
+	} else {
+		fmt.Fprintln(out, "  trigger: none (manual freeze)")
+	}
+	fmt.Fprintf(out, "  held:    %d events, %d spans, %d load seconds, %d metric samples\n",
+		len(d.Events), len(d.Spans), len(d.Seconds), len(d.Samples))
+
+	// Events by type, busiest first — the 10,000-ft view of the window.
+	byType := map[string]int{}
+	for _, e := range d.Events {
+		byType[e.Type]++
+	}
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if byType[types[i]] != byType[types[j]] {
+			return byType[types[i]] > byType[types[j]]
+		}
+		return types[i] < types[j]
+	})
+	if len(types) > 0 {
+		fmt.Fprintln(out, "\n  events by type:")
+		for _, t := range types {
+			fmt.Fprintf(out, "    %-24s %d\n", t, byType[t])
+		}
+	}
+
+	if len(d.Seconds) > 0 {
+		fmt.Fprintln(out, "\n  per-second load (last 10):")
+		secs := d.Seconds
+		if len(secs) > 10 {
+			secs = secs[len(secs)-10:]
+		}
+		for _, s := range secs {
+			fmt.Fprintf(out, "    %s  msgs=%-6d writes=%-5d grants=%-5d ack-wait=%v\n",
+				time.Unix(s.Unix, 0).UTC().Format("15:04:05"), s.Msgs, s.Writes, s.Grants,
+				time.Duration(s.AckWaitNS))
+		}
+	}
+
+	evs := d.Events
+	label := "all"
+	if tail > 0 && len(evs) > tail {
+		evs = evs[len(evs)-tail:]
+		label = fmt.Sprintf("last %d", tail)
+	}
+	if len(evs) > 0 {
+		fmt.Fprintf(out, "\n  timeline (%s of %d):\n", label, len(d.Events))
+		for _, e := range evs {
+			detail := ""
+			for _, part := range []struct{ k, v string }{
+				{"client", e.Client}, {"object", e.Object}, {"volume", e.Volume}, {"msg", e.Msg},
+			} {
+				if part.v != "" {
+					detail += " " + part.k + "=" + part.v
+				}
+			}
+			if e.DurNS != 0 {
+				detail += " dur=" + time.Duration(e.DurNS).String()
+			}
+			mark := " "
+			if d.Trigger != nil && !e.At.Before(d.Trigger.At) {
+				mark = "*" // at or after the trigger
+			}
+			fmt.Fprintf(out, "  %s %s %-20s%s\n", mark, e.At.Format("15:04:05.000"), e.Type, detail)
+		}
+		if d.Trigger != nil {
+			fmt.Fprintln(out, "  (* = at or after the trigger)")
+		}
+	}
+}

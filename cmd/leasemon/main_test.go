@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/health"
+	"repro/internal/obs"
+)
+
+// liveNode stands up one debug endpoint the way a daemon does: a registry,
+// a flight recorder, a health engine, and obs.Serve with the health routes
+// mounted.
+func liveNode(t *testing.T, name string, detectors ...health.Detector) (string, *health.Engine) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	f := health.NewFlightRecorder(name, 1024, time.Minute)
+	e := health.NewEngine(health.Options{
+		Node:          name,
+		Flight:        f,
+		DumpDir:       t.TempDir(),
+		Tick:          5 * time.Millisecond,
+		Tail:          5 * time.Millisecond,
+		StalenessBurn: func() float64 { return 0.5 },
+	}, detectors...)
+	e.Register(reg)
+	f.Observe(obs.Event{Type: obs.EvWriteApplied, At: time.Now(), Node: name, Object: "o", Volume: "v"})
+	e.Start()
+	t.Cleanup(e.Close)
+
+	srv, err := obs.Serve("127.0.0.1:0", reg, nil,
+		obs.Route{Path: "/debug/health", Handler: health.Handler(e)},
+		obs.Route{Path: "/debug/flightrecorder", Handler: health.FlightHandler(e)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr(), e
+}
+
+func TestFleetTableFromTwoLiveEndpoints(t *testing.T) {
+	// Node "alpha" has a detector that always fires; "beta" is healthy.
+	epA, engA := liveNode(t, "alpha",
+		health.NewThresholdDetector(health.DetBacklog, 1, func() float64 { return 5 }))
+	epB, _ := liveNode(t, "beta")
+
+	// Wait for alpha's engine to trigger and persist a dump.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rep := engA.Snapshot()
+		if rep.Status == "firing" && rep.DumpsWritten >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alpha never fired: %+v", rep)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var out, errw bytes.Buffer
+	code := run(&out, &errw, []string{epA, epB})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (firing fleet)\nstdout:\n%s\nstderr:\n%s", code, &out, &errw)
+	}
+	table := out.String()
+	for _, want := range []string{"ENDPOINT", "alpha", "beta", "firing", "ok", health.DetBacklog, epA, epB} {
+		if !strings.Contains(table, want) {
+			t.Errorf("fleet table missing %q:\n%s", want, table)
+		}
+	}
+	// The SERIES column proves /metrics was scraped: alpha exports
+	// lease_health_* series.
+	alphaLine := ""
+	for _, line := range strings.Split(table, "\n") {
+		if strings.Contains(line, "alpha") {
+			alphaLine = line
+		}
+	}
+	fields := strings.Fields(alphaLine)
+	if len(fields) != 8 || fields[len(fields)-1] == "0" {
+		t.Errorf("alpha row did not report scraped lease_ series: %q", alphaLine)
+	}
+	if !strings.Contains(alphaLine, "0.50") {
+		t.Errorf("alpha row missing staleness burn 0.50: %q", alphaLine)
+	}
+}
+
+func TestFetchAndPrettyPrintDump(t *testing.T) {
+	ep, eng := liveNode(t, "gamma",
+		health.NewThresholdDetector(health.DetBacklog, 1, func() float64 { return 9 }))
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.Snapshot().DumpsWritten < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gamma never dumped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// -dumps lists the file.
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-dumps", ep}); code != 0 {
+		t.Fatalf("-dumps exit %d: %s", code, &errw)
+	}
+	if !strings.Contains(out.String(), "flight-gamma-"+health.DetBacklog) {
+		t.Fatalf("-dumps listing:\n%s", &out)
+	}
+
+	// -dump latest pretty-prints trigger evidence and the timeline.
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-dump", "latest", ep}); code != 0 {
+		t.Fatalf("-dump exit %d: %s", code, &errw)
+	}
+	pretty := out.String()
+	for _, want := range []string{
+		"node:    gamma",
+		"trigger: " + health.DetBacklog,
+		"observed 9, threshold 1",
+		"write-applied",
+		"timeline",
+	} {
+		if !strings.Contains(pretty, want) {
+			t.Errorf("pretty dump missing %q:\n%s", want, pretty)
+		}
+	}
+
+	// -dump with -raw yields parseable JSON.
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-raw", "-dump", "latest", ep}); code != 0 {
+		t.Fatalf("-raw -dump exit %d: %s", code, &errw)
+	}
+	d, err := health.ParseDump(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Node != "gamma" || d.Trigger == nil {
+		t.Fatalf("raw dump = %+v", d)
+	}
+}
+
+func TestFreezeEndpoint(t *testing.T) {
+	ep, eng := liveNode(t, "delta")
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-freeze", ep}); code != 0 {
+		t.Fatalf("-freeze exit %d: %s", code, &errw)
+	}
+	if eng.Snapshot().DumpsWritten != 1 {
+		t.Fatal("freeze did not write a dump")
+	}
+	if !strings.Contains(out.String(), "froze flight recorder:") {
+		t.Errorf("freeze output: %q", out.String())
+	}
+}
+
+func TestUnreachableEndpointExitsNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-timeout", "200ms", "127.0.0.1:1"}); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, &errw)
+	}
+	if !strings.Contains(out.String(), "unreachable") {
+		t.Errorf("table missing unreachable row:\n%s", &out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, nil); code != 1 {
+		t.Fatalf("no-args exit = %d, want 1", code)
+	}
+	if !strings.Contains(errw.String(), "endpoint") {
+		t.Errorf("usage message: %q", errw.String())
+	}
+}

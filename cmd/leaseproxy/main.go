@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/loadtl"
 	"repro/internal/obs"
 	"repro/internal/proxy"
@@ -50,6 +51,9 @@ func run() error {
 	spans := flag.Int("spans", 0, "causal write-path spans kept for /debug/spans (0 = span tracing off)")
 	spanSample := flag.Int("span-sample", 1, "record 1 in N traces (1 = every trace)")
 	loadWindow := flag.Int("load-window", 300, "seconds of per-second load history for /debug/load and lease_load_* (0 = off)")
+	flight := flag.Int("flight", 8192, "protocol events retained by the flight recorder (0 = flight recorder off)")
+	flightWin := flag.Duration("flight-window", time.Minute, "trailing window a flight dump covers")
+	flightDir := flag.String("flight-dir", "flight-dumps", "directory for flight recorder dump files ($FLIGHT_DUMP_DIR overrides)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -66,6 +70,24 @@ func run() error {
 		load.Register(reg)
 		sinks = append(sinks, load)
 	}
+	var flightRec *health.FlightRecorder
+	var engine *health.Engine
+	if *flight > 0 {
+		flightRec = health.NewFlightRecorder(*id, *flight, *flightWin)
+		flightRec.AttachTimeline(load)
+		sinks = append(sinks, flightRec)
+		// The proxy is a client of its upstream and a server to its
+		// downstream: the event-stream rules (renewal storm, unreachable
+		// growth, epoch bump, ack-wait p99) cover both roles.
+		engine = health.NewEngine(health.Options{
+			Node:    *id,
+			Flight:  flightRec,
+			DumpDir: health.DumpDir(*flightDir),
+			Logf:    log.Printf,
+		}, health.DefaultDetectors(health.DetectorConfig{})...)
+		engine.Register(reg)
+		sinks = append(sinks, engine)
+	}
 	if len(sinks) > 0 {
 		observer.Tracer = obs.NewTracer(sinks...)
 	}
@@ -73,6 +95,7 @@ func run() error {
 	if *spans > 0 {
 		spanRec = obs.NewSpanRecorder(*spans, *spanSample)
 		observer.Spans = spanRec
+		flightRec.AttachSpans(spanRec)
 	}
 	netw := transport.ObserveNetwork(transport.TCP{}, obs.WireObserver(observer, *id, time.Now))
 
@@ -96,6 +119,8 @@ func run() error {
 		return err
 	}
 	defer px.Close()
+	engine.Start()
+	defer engine.Close()
 	log.Printf("leaseproxy: serving volume %q on %s (upstream %s, sub-leases t=%v tv=%v)",
 		*volume, px.Addr(), *upstream, *objLease, *volLease)
 
@@ -106,6 +131,11 @@ func run() error {
 		}
 		if load != nil {
 			routes = append(routes, obs.Route{Path: "/debug/load", Handler: load.Handler()})
+		}
+		if engine != nil {
+			routes = append(routes,
+				obs.Route{Path: "/debug/health", Handler: health.Handler(engine)},
+				obs.Route{Path: "/debug/flightrecorder", Handler: health.FlightHandler(engine)})
 		}
 		dbg, err := obs.Serve(*debugAddr, reg, ring, routes...)
 		if err != nil {

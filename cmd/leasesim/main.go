@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -28,6 +29,59 @@ type algoList []string
 
 func (a *algoList) String() string     { return strings.Join(*a, ",") }
 func (a *algoList) Set(v string) error { *a = append(*a, v); return nil }
+
+// simObs is the simulator's optional debug surface: with -debug-addr set,
+// a debug HTTP server (/metrics, /debug/vars, /debug/pprof) runs for the
+// duration of the simulation — long BU-trace replays can be profiled and
+// watched from leasemon like the live daemons — exporting progress as
+// lease_sim_algorithms_total and lease_sim_events_total.
+type simObs struct {
+	dbg    *obs.DebugServer
+	algos  *obs.Counter
+	events *obs.Counter
+}
+
+// newSimObs builds (and serves) the debug surface; a nil *simObs, returned
+// for an empty addr, is a valid disabled surface.
+func newSimObs(addr string) (*simObs, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	reg := obs.NewRegistry()
+	s := &simObs{
+		algos:  reg.Counter("lease_sim_algorithms_total"),
+		events: reg.Counter("lease_sim_events_total"),
+	}
+	var err error
+	s.dbg, err = obs.Serve(addr, reg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ran records one completed algorithm over a trace of n events.
+func (s *simObs) ran(n int) {
+	if s == nil {
+		return
+	}
+	s.algos.Inc()
+	s.events.Add(int64(n))
+}
+
+// Addr reports the bound debug address ("" when disabled).
+func (s *simObs) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.dbg.Addr()
+}
+
+func (s *simObs) Close() {
+	if s != nil {
+		s.dbg.Close()
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -43,7 +97,17 @@ func run() error {
 	buFile := flag.String("bu", "", "Boston University Mosaic trace file (reads only; writes are synthesized)")
 	topServers := flag.Int("top", 3, "how many busiest servers to detail")
 	classes := flag.Bool("classes", false, "print the per-message-class breakdown")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof during the run (empty = off)")
 	flag.Parse()
+
+	so, err := newSimObs(*debugAddr)
+	if err != nil {
+		return err
+	}
+	defer so.Close()
+	if so != nil {
+		fmt.Fprintf(os.Stderr, "leasesim: debug server on http://%s\n", so.Addr())
+	}
 
 	if len(algos) == 0 {
 		algos = algoList{
@@ -68,6 +132,7 @@ func run() error {
 			return err
 		}
 		rec, res := bench.Run(w, s)
+		so.ran(len(w.Trace))
 		tot := rec.Totals()
 		reads, stale := rec.ReadStats()
 		_ = reads

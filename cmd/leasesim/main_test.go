@@ -1,8 +1,11 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/trace"
@@ -75,6 +78,43 @@ func TestLoadWorkloadBadContent(t *testing.T) {
 	if _, err := loadWorkload("", bu); err == nil {
 		t.Fatal("malformed BU trace accepted")
 	}
+}
+
+func TestSimObsServesCounters(t *testing.T) {
+	so, err := newSimObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("newSimObs: %v", err)
+	}
+	defer so.Close()
+	so.ran(7)
+	so.ran(3)
+	resp, err := http.Get("http://" + so.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lease_sim_algorithms_total 2", "lease_sim_events_total 10"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSimObsDisabled(t *testing.T) {
+	so, err := newSimObs("")
+	if err != nil {
+		t.Fatalf("newSimObs: %v", err)
+	}
+	// All methods must be nil-safe when -debug-addr is unset.
+	so.ran(5)
+	if so.Addr() != "" {
+		t.Errorf("Addr = %q, want empty", so.Addr())
+	}
+	so.Close()
 }
 
 func TestAlgoListFlag(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -161,6 +162,40 @@ func (p *Pool) Connections() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.clients)
+}
+
+// Register exports the pool's state through a metrics registry as the
+// lease_pool_* series, labeled by the pool's client identity — the fleet
+// health surface's view of a multi-server client:
+//
+//	lease_pool_connections{client}    — servers currently connected
+//	lease_pool_routes{client}         — volumes with a registered route
+//	lease_pool_local_reads{client}    — reads served from cache
+//	lease_pool_server_reads{client}   — reads that went to a server
+//	lease_pool_invalidations{client}  — invalidations received
+func (p *Pool) Register(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	id := string(p.cfg.ID)
+	reg.GaugeFunc(fmt.Sprintf("lease_pool_connections{client=%q}", id), func() float64 {
+		return float64(p.Connections())
+	})
+	reg.GaugeFunc(fmt.Sprintf("lease_pool_routes{client=%q}", id), func() float64 {
+		return float64(len(p.Routes()))
+	})
+	reg.GaugeFunc(fmt.Sprintf("lease_pool_local_reads{client=%q}", id), func() float64 {
+		l, _, _ := p.Stats()
+		return float64(l)
+	})
+	reg.GaugeFunc(fmt.Sprintf("lease_pool_server_reads{client=%q}", id), func() float64 {
+		_, s, _ := p.Stats()
+		return float64(s)
+	})
+	reg.GaugeFunc(fmt.Sprintf("lease_pool_invalidations{client=%q}", id), func() float64 {
+		_, _, inv := p.Stats()
+		return float64(inv)
+	})
 }
 
 // Close tears down every connection.

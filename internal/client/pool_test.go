@@ -3,6 +3,7 @@ package client_test
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -259,5 +261,35 @@ func TestPoolCloseIdempotentAndTerminal(t *testing.T) {
 	}
 	if _, err := p.Read("vol-0", "obj"); !errors.Is(err, client.ErrClosed) {
 		t.Errorf("Read after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolRegisterExportsSeries(t *testing.T) {
+	net, _ := poolEnv(t, 2)
+	p := newPool(t, net, 2)
+	reg := obs.NewRegistry()
+	p.Register(reg)
+
+	// Two reads on different volumes: two connections, two server reads.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Read(core.VolumeID(fmt.Sprintf("vol-%d", i)), "obj"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	prom := sb.String()
+	for _, want := range []string{
+		`lease_pool_connections{client="browser"} 2`,
+		`lease_pool_routes{client="browser"} 2`,
+		`lease_pool_server_reads{client="browser"} 2`,
+		`lease_pool_local_reads{client="browser"} 0`,
+		`lease_pool_invalidations{client="browser"} 0`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q\n%s", want, prom)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+func TestRateDetectorWindow(t *testing.T) {
+	base := clock.Epoch
+	d := NewRateDetector("r", 5, 3, func(e obs.Event) bool { return e.Type == obs.EvReconnect })
+
+	// Two matching events: below threshold.
+	d.Observe(evAt(base, obs.EvReconnect))
+	d.Observe(evAt(base.Add(time.Second), obs.EvReconnect))
+	d.Observe(evAt(base.Add(time.Second), obs.EvConnect)) // non-matching
+	if _, fired := d.Tick(base.Add(2 * time.Second)); fired {
+		t.Fatal("fired below threshold")
+	}
+
+	// Third event crosses it.
+	d.Observe(evAt(base.Add(2*time.Second), obs.EvReconnect))
+	tr, fired := d.Tick(base.Add(2 * time.Second))
+	if !fired {
+		t.Fatal("did not fire at threshold")
+	}
+	if tr.Detector != "r" || tr.Observed != 3 || tr.Threshold != 3 {
+		t.Fatalf("trigger = %+v", tr)
+	}
+
+	// Once the window slides past the events, the rule quiets down.
+	if _, fired := d.Tick(base.Add(20 * time.Second)); fired {
+		t.Fatal("fired after window slid past events")
+	}
+}
+
+func TestRateDetectorIgnoresUnstamped(t *testing.T) {
+	d := NewRateDetector("r", 5, 1, func(obs.Event) bool { return true })
+	d.Observe(obs.Event{Type: obs.EvReconnect}) // zero At
+	if _, fired := d.Tick(clock.Epoch.Add(time.Second)); fired {
+		t.Fatal("unstamped event counted")
+	}
+}
+
+func TestAckWaitP99(t *testing.T) {
+	base := clock.Epoch
+	d := NewAckWaitP99(500*time.Millisecond, 30*time.Second, 3)
+
+	// Fast waits only: quiet.
+	for i := 0; i < 10; i++ {
+		d.Observe(obs.Event{Type: obs.EvWriteUnblocked, At: base.Add(time.Duration(i) * time.Second), Dur: 10 * time.Millisecond})
+	}
+	if _, fired := d.Tick(base.Add(10 * time.Second)); fired {
+		t.Fatal("fired on fast waits")
+	}
+
+	// One slow wait drags the p99 over the threshold (11 samples: p99 is
+	// the max).
+	d.Observe(obs.Event{Type: obs.EvWriteUnblocked, At: base.Add(10 * time.Second), Dur: 2 * time.Second})
+	tr, fired := d.Tick(base.Add(11 * time.Second))
+	if !fired {
+		t.Fatal("did not fire on slow tail")
+	}
+	if tr.Observed != 2.0 {
+		t.Errorf("observed p99 = %g, want 2", tr.Observed)
+	}
+
+	// Outside the window the slow wait ages out.
+	if _, fired := d.Tick(base.Add(100 * time.Second)); fired {
+		t.Fatal("fired after samples aged out")
+	}
+}
+
+func TestAckWaitP99MinSamples(t *testing.T) {
+	d := NewAckWaitP99(time.Millisecond, 30*time.Second, 5)
+	d.Observe(obs.Event{Type: obs.EvWriteUnblocked, At: clock.Epoch, Dur: time.Hour})
+	if _, fired := d.Tick(clock.Epoch.Add(time.Second)); fired {
+		t.Fatal("fired below the minimum sample count")
+	}
+}
+
+func TestThresholdDetector(t *testing.T) {
+	v := 0.0
+	d := NewThresholdDetector(DetBacklog, 100, func() float64 { return v })
+	if _, fired := d.Tick(clock.Epoch); fired {
+		t.Fatal("fired at 0")
+	}
+	v = 150
+	tr, fired := d.Tick(clock.Epoch)
+	if !fired || tr.Observed != 150 || tr.Threshold != 100 {
+		t.Fatalf("fired=%v trigger=%+v", fired, tr)
+	}
+}
+
+func TestIncreaseDetectorBaseline(t *testing.T) {
+	v := 5.0
+	d := NewIncreaseDetector(DetAudit, func() float64 { return v })
+	// First tick establishes the baseline without firing, even nonzero.
+	if _, fired := d.Tick(clock.Epoch); fired {
+		t.Fatal("fired on baseline tick")
+	}
+	if _, fired := d.Tick(clock.Epoch.Add(time.Second)); fired {
+		t.Fatal("fired without an increase")
+	}
+	v = 6
+	tr, fired := d.Tick(clock.Epoch.Add(2 * time.Second))
+	if !fired {
+		t.Fatal("did not fire on increase")
+	}
+	if tr.Threshold != 5 || tr.Observed != 6 {
+		t.Fatalf("trigger = %+v", tr)
+	}
+	// Stable again: quiet.
+	if _, fired := d.Tick(clock.Epoch.Add(3 * time.Second)); fired {
+		t.Fatal("fired while stable")
+	}
+}
+
+func TestDefaultDetectorsComposition(t *testing.T) {
+	ds := DefaultDetectors(DetectorConfig{
+		Backlog:         func() float64 { return 0 },
+		AuditViolations: func() float64 { return 0 },
+	})
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{DetAckWaitP99, DetRenewStorm, DetUnreachable, DetEpochBump, DetBacklog, DetAudit} {
+		if !names[want] {
+			t.Errorf("default set missing %s", want)
+		}
+	}
+	// Without the polled sample funcs the polled rules are absent.
+	if got := len(DefaultDetectors(DetectorConfig{})); got != 4 {
+		t.Errorf("event-only default set has %d detectors, want 4", got)
+	}
+}

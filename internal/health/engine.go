@@ -1,0 +1,386 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+)
+
+// Options configures an Engine. Node and Clock are required in spirit
+// (Node labels metrics and dumps; Clock defaults to the real clock).
+type Options struct {
+	// Node names the component the engine watches (server name, proxy id).
+	Node string
+	// Clock drives ticking and dump timestamps; defaults to the wall clock.
+	// A stack on simulated time must inject its clock or windows are
+	// computed on the wrong timeline.
+	Clock clock.Clock
+	// Flight, when non-nil, is frozen into a dump file on every trigger.
+	Flight *FlightRecorder
+	// DumpDir receives dump files; empty disables writing (triggers are
+	// still recorded and exported).
+	DumpDir string
+	// Tick is the evaluation cadence (default 1s).
+	Tick time.Duration
+	// Tail is how long after a trigger the freeze waits, so the dump holds
+	// the aftermath as well as the lead-up (default 2s).
+	Tail time.Duration
+	// Cooldown suppresses re-triggering of the same detector after it fires
+	// (default 30s), so a sustained anomaly produces one dump, not one per
+	// tick.
+	Cooldown time.Duration
+	// Sample, when non-nil, is called once per tick; the result is retained
+	// in the flight recorder as the per-second metric snapshot.
+	Sample func() map[string]float64
+	// StalenessBurn, when non-nil, reports the staleness-budget burn — the
+	// worst observed staleness as a fraction of the analytic bound
+	// min(t, t_v). Exported as lease_health_staleness_budget_burn.
+	StalenessBurn func() float64
+	// OnTrigger, when non-nil, is called synchronously from the tick
+	// goroutine for every accepted trigger (before the tail elapses).
+	OnTrigger func(Trigger)
+	// OnDump, when non-nil, is called after a dump file is written.
+	OnDump func(path string, tr Trigger)
+	// Logf, when non-nil, receives one line per trigger and per dump.
+	Logf func(format string, args ...any)
+}
+
+// detState is one detector's engine-side state.
+type detState struct {
+	det      Detector
+	firing   bool // inside the cooldown of its last trigger
+	last     Trigger
+	triggers int64
+}
+
+// Engine evaluates anomaly detectors against the live event stream. It
+// implements obs.Sink: attach it to the tracer next to the flight recorder,
+// then Start it. Each accepted trigger freezes the flight recorder into a
+// timestamped dump file after Tail has elapsed, so the dump holds both the
+// pre-trigger window and the post-trigger aftermath.
+//
+// A nil *Engine is a valid disabled engine: Observe, Start, and Close are
+// nil checks, mirroring the rest of the observability layer.
+type Engine struct {
+	opts Options
+
+	mu     sync.Mutex
+	states []*detState
+	dumps  int64
+	files  []string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	om *engineMetrics
+}
+
+var _ obs.Sink = (*Engine)(nil)
+
+// NewEngine builds an engine over the given detectors (typically
+// DefaultDetectors).
+func NewEngine(opts Options, detectors ...Detector) *Engine {
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	if opts.Tick <= 0 {
+		opts.Tick = time.Second
+	}
+	if opts.Tail <= 0 {
+		opts.Tail = 2 * time.Second
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 30 * time.Second
+	}
+	e := &Engine{opts: opts, stop: make(chan struct{})}
+	for _, d := range detectors {
+		e.states = append(e.states, &detState{det: d})
+	}
+	return e
+}
+
+// Node reports the engine's node label.
+func (e *Engine) Node() string {
+	if e == nil {
+		return ""
+	}
+	return e.opts.Node
+}
+
+// Flight returns the attached flight recorder (nil-safe).
+func (e *Engine) Flight() *FlightRecorder {
+	if e == nil {
+		return nil
+	}
+	return e.opts.Flight
+}
+
+// Observe implements obs.Sink, fanning the event to every detector. Safe on
+// a nil engine and from any number of goroutines.
+func (e *Engine) Observe(ev obs.Event) {
+	if e == nil {
+		return
+	}
+	for _, st := range e.states {
+		st.det.Observe(ev)
+	}
+}
+
+// Start launches the tick goroutine. Safe on a nil engine; calling Start
+// twice is a no-op.
+func (e *Engine) Start() {
+	if e == nil {
+		return
+	}
+	e.once.Do(func() {
+		e.wg.Add(1)
+		go e.loop()
+	})
+}
+
+// Close stops the tick goroutine and waits for in-flight dump writers. Safe
+// on a nil engine and without a prior Start.
+func (e *Engine) Close() {
+	if e == nil {
+		return
+	}
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+	e.wg.Wait()
+}
+
+// loop ticks until Close.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.opts.Clock.After(e.opts.Tick):
+			e.tickOnce(e.opts.Clock.Now())
+		}
+	}
+}
+
+// tickOnce samples metrics into the flight ring and evaluates every
+// detector, accepting at most one trigger per detector per cooldown.
+// Exported to the package's tests via engine_test helpers only; production
+// callers rely on Start.
+func (e *Engine) tickOnce(now time.Time) {
+	if e.opts.Sample != nil && e.opts.Flight != nil {
+		e.opts.Flight.Sample(MetricSample{Unix: now.Unix(), Values: e.opts.Sample()})
+	}
+	for _, st := range e.states {
+		tr, fired := st.det.Tick(now)
+		e.mu.Lock()
+		if !fired {
+			// Leave the cooldown once the rule stops firing and the window
+			// has passed.
+			if st.firing && now.Sub(st.last.At) >= e.opts.Cooldown {
+				st.firing = false
+			}
+			e.mu.Unlock()
+			continue
+		}
+		if st.firing && now.Sub(st.last.At) < e.opts.Cooldown {
+			e.mu.Unlock()
+			continue // same anomaly, already dumped
+		}
+		st.firing = true
+		st.last = tr
+		st.triggers++
+		e.mu.Unlock()
+		if e.om != nil {
+			e.om.triggers[st.det.Name()].Inc()
+		}
+		e.logf("health: %s triggered: %s", e.opts.Node, tr)
+		if e.opts.OnTrigger != nil {
+			e.opts.OnTrigger(tr)
+		}
+		e.scheduleDump(tr)
+	}
+}
+
+// scheduleDump freezes the flight recorder Tail after the trigger, so the
+// dump includes the aftermath. On shutdown the dump is written immediately
+// with whatever the ring holds — a failing chaos run must still leave its
+// evidence behind.
+func (e *Engine) scheduleDump(tr Trigger) {
+	if e.opts.Flight == nil || e.opts.DumpDir == "" {
+		return
+	}
+	// Register the tail timer synchronously on the tick goroutine, so a
+	// simulated clock advanced right after the trigger still fires it.
+	tail := e.opts.Clock.After(e.opts.Tail)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		select {
+		case <-e.stop:
+		case <-tail:
+		}
+		e.writeDump(tr)
+	}()
+}
+
+// writeDump snapshots and persists one dump.
+func (e *Engine) writeDump(tr Trigger) {
+	d := e.opts.Flight.Snapshot(e.opts.Clock.Now(), &tr)
+	path, err := WriteDump(e.opts.DumpDir, d)
+	if err != nil {
+		e.logf("health: %s dump failed: %v", e.opts.Node, err)
+		return
+	}
+	e.mu.Lock()
+	e.dumps++
+	e.files = append(e.files, path)
+	e.mu.Unlock()
+	if e.om != nil {
+		e.om.dumps.Inc()
+	}
+	e.logf("health: %s wrote flight dump %s (%s)", e.opts.Node, path, tr.Detector)
+	if e.opts.OnDump != nil {
+		e.opts.OnDump(path, tr)
+	}
+}
+
+// ForceDump freezes the flight recorder immediately, without a detector
+// trigger — the manual pull-the-tapes operation behind `make flightdump`
+// and failing test harnesses. reason lands in the dump's trigger detail.
+func (e *Engine) ForceDump(reason string) (string, error) {
+	if e == nil || e.opts.Flight == nil {
+		return "", fmt.Errorf("health: no flight recorder attached")
+	}
+	if e.opts.DumpDir == "" {
+		return "", fmt.Errorf("health: no dump directory configured")
+	}
+	now := e.opts.Clock.Now()
+	tr := Trigger{Detector: "manual", At: now, Detail: reason}
+	d := e.opts.Flight.Snapshot(now, &tr)
+	path, err := WriteDump(e.opts.DumpDir, d)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.dumps++
+	e.files = append(e.files, path)
+	e.mu.Unlock()
+	if e.om != nil {
+		e.om.dumps.Inc()
+	}
+	return path, nil
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+// --- reporting -----------------------------------------------------------
+
+// DetectorStatus is one detector's state in the health report.
+type DetectorStatus struct {
+	Name     string   `json:"name"`
+	State    string   `json:"state"` // "ok" or "firing"
+	Triggers int64    `json:"triggers"`
+	Last     *Trigger `json:"last_trigger,omitempty"`
+}
+
+// Report is the /debug/health payload: one node's detector states plus the
+// dump ledger — what leasemon aggregates into the fleet table.
+type Report struct {
+	Node          string           `json:"node"`
+	Now           time.Time        `json:"now"`
+	Status        string           `json:"status"` // "ok" or "firing"
+	Detectors     []DetectorStatus `json:"detectors"`
+	DumpsWritten  int64            `json:"dumps_written"`
+	DumpFiles     []string         `json:"dump_files,omitempty"`
+	StalenessBurn float64          `json:"staleness_budget_burn,omitempty"`
+}
+
+// Snapshot assembles the current report. Safe on a nil engine (an empty
+// "ok" report).
+func (e *Engine) Snapshot() Report {
+	r := Report{Status: "ok"}
+	if e == nil {
+		return r
+	}
+	r.Node = e.opts.Node
+	r.Now = e.opts.Clock.Now()
+	if e.opts.StalenessBurn != nil {
+		r.StalenessBurn = e.opts.StalenessBurn()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r.DumpsWritten = e.dumps
+	r.DumpFiles = append(r.DumpFiles, e.files...)
+	for _, st := range e.states {
+		ds := DetectorStatus{Name: st.det.Name(), State: "ok", Triggers: st.triggers}
+		if st.firing {
+			ds.State = "firing"
+			r.Status = "firing"
+		}
+		if st.triggers > 0 {
+			last := st.last
+			ds.Last = &last
+		}
+		r.Detectors = append(r.Detectors, ds)
+	}
+	sort.Slice(r.Detectors, func(i, j int) bool { return r.Detectors[i].Name < r.Detectors[j].Name })
+	return r
+}
+
+// engineMetrics are the pre-resolved lease_health_* series.
+type engineMetrics struct {
+	triggers map[string]*obs.Counter
+	dumps    *obs.Counter
+}
+
+// Register exports the engine through a metrics registry, labeled by node:
+//
+//	lease_health_detector_status{node,detector}   — 0 ok, 1 firing
+//	lease_health_detector_triggers_total{...}     — accepted triggers
+//	lease_health_dumps_written_total{node}        — flight dumps on disk
+//	lease_health_staleness_budget_burn{node}      — worst observed staleness
+//	                                                as a fraction of the
+//	                                                min(t, t_v) bound
+//
+// Call before Start so no trigger races the counter resolution.
+func (e *Engine) Register(reg *obs.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	node := e.opts.Node
+	e.om = &engineMetrics{
+		triggers: make(map[string]*obs.Counter, len(e.states)),
+		dumps:    reg.Counter(fmt.Sprintf("lease_health_dumps_written_total{node=%q}", node)),
+	}
+	for _, st := range e.states {
+		name := st.det.Name()
+		e.om.triggers[name] = reg.Counter(
+			fmt.Sprintf("lease_health_detector_triggers_total{node=%q,detector=%q}", node, name))
+		st := st
+		reg.GaugeFunc(fmt.Sprintf("lease_health_detector_status{node=%q,detector=%q}", node, name),
+			func() float64 {
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				if st.firing {
+					return 1
+				}
+				return 0
+			})
+	}
+	if e.opts.StalenessBurn != nil {
+		reg.GaugeFunc(fmt.Sprintf("lease_health_staleness_budget_burn{node=%q}", node),
+			e.opts.StalenessBurn)
+	}
+}

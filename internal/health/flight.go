@@ -1,0 +1,408 @@
+// Package health is the black-box diagnostic layer of the live lease
+// stack: a flight recorder continuously retaining the last seconds of
+// protocol events, causal spans, and per-second metric snapshots; an
+// anomaly detector engine evaluating rules on the live event stream
+// (ack-wait spikes, renewal storms, invalidation backlog, unreachable-set
+// growth, audit violations, epoch bumps); and a health surface summarizing
+// detector state at /debug/health and lease_health_* gauges.
+//
+// The paper's hardest moments — renewal storms after a server crash,
+// unreachable-client wait-outs, invalidation backlog on a hot volume — are
+// exactly the moments where scraped metrics are too coarse and the full
+// event stream too big to keep. The flight recorder solves this the way an
+// aircraft recorder does: it always retains a bounded trailing window, and
+// an anomaly freezes the window into a timestamped dump file with both the
+// pre-trigger context and a post-trigger tail.
+//
+// Like the rest of the observability layer, everything is pay-for-what-you-
+// use: a nil *FlightRecorder is a valid, disabled recorder whose Observe is
+// a single nil check and zero allocations (see BenchmarkFlightDisabled),
+// so harnesses can hold one unconditionally.
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/loadtl"
+	"repro/internal/obs"
+)
+
+// Trigger identifies the anomaly that froze a flight recording: which
+// detector fired, when, and the threshold-versus-observed pair that made
+// the call. It is embedded verbatim in the dump file so a postmortem
+// starts from the verdict, not from raw data.
+type Trigger struct {
+	Detector  string    `json:"detector"`
+	At        time.Time `json:"at"`
+	Threshold float64   `json:"threshold"`
+	Observed  float64   `json:"observed"`
+	// Detail is a human-readable one-liner ("p99 ack wait 1.2s over 30s
+	// window"), for log lines and the leasemon dump view.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the trigger for logs.
+func (t Trigger) String() string {
+	s := fmt.Sprintf("%s: observed %g, threshold %g", t.Detector, t.Observed, t.Threshold)
+	if t.Detail != "" {
+		s += " (" + t.Detail + ")"
+	}
+	return s
+}
+
+// MetricSample is one per-second snapshot of selected metric values, taken
+// by the engine tick and retained in the flight ring alongside events.
+type MetricSample struct {
+	Unix   int64              `json:"unix"`
+	Values map[string]float64 `json:"values"`
+}
+
+// FlightRecorder continuously retains the most recent protocol events in a
+// fixed-size lock-free ring (the same slot-of-atomic-pointers shape as
+// obs.SpanRecorder: one allocation plus two atomic ops per recorded event,
+// no mutex on the record path), plus per-second metric samples and
+// references to the span recorder and load timeline whose own rings are
+// snapshotted at freeze time.
+//
+// A nil *FlightRecorder is a valid, disabled recorder: Observe is a nil
+// check and the event never escapes, which is the zero-allocation fast
+// path BenchmarkFlightDisabled gates.
+type FlightRecorder struct {
+	node   string
+	window time.Duration
+	slots  []atomic.Pointer[obs.Event]
+	next   atomic.Uint64
+	total  atomic.Uint64
+
+	// Attached sources, set before traffic starts; both optional.
+	spans *obs.SpanRecorder
+	tl    *loadtl.Timeline
+
+	// Per-second metric samples, written by the engine tick (1/s), read at
+	// freeze time: low rate, so a mutex-guarded ring is fine.
+	mu         sync.Mutex
+	samples    []MetricSample
+	sampleNext int
+}
+
+var _ obs.Sink = (*FlightRecorder)(nil)
+
+// NewFlightRecorder returns a recorder for node retaining up to size events
+// (min 1) and aiming to cover the trailing window (used to bound what a
+// freeze includes; size must be provisioned for the expected event rate ×
+// window). A zero window defaults to 60s.
+func NewFlightRecorder(node string, size int, window time.Duration) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	if window <= 0 {
+		window = 60 * time.Second
+	}
+	return &FlightRecorder{
+		node:    node,
+		window:  window,
+		slots:   make([]atomic.Pointer[obs.Event], size),
+		samples: make([]MetricSample, 0, int(window/time.Second)+1),
+	}
+}
+
+// AttachSpans arranges for freezes to include the span recorder's retained
+// spans. Call before traffic starts.
+func (f *FlightRecorder) AttachSpans(r *obs.SpanRecorder) {
+	if f == nil {
+		return
+	}
+	f.spans = r
+}
+
+// AttachTimeline arranges for freezes to include the load timeline's
+// per-second buckets. Call before traffic starts.
+func (f *FlightRecorder) AttachTimeline(tl *loadtl.Timeline) {
+	if f == nil {
+		return
+	}
+	f.tl = tl
+}
+
+// Window reports the retention target.
+func (f *FlightRecorder) Window() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.window
+}
+
+// Observe implements obs.Sink, retaining the event in the ring. Safe on a
+// nil recorder and from any number of goroutines. The nil check lives in
+// this inlinable wrapper so the disabled path never reaches record, whose
+// parameter escapes (the ring stores &e) — keeping disabled call sites
+// allocation-free.
+func (f *FlightRecorder) Observe(e obs.Event) {
+	if f == nil {
+		return
+	}
+	f.record(e)
+}
+
+func (f *FlightRecorder) record(e obs.Event) {
+	idx := f.next.Add(1) - 1
+	f.slots[idx%uint64(len(f.slots))].Store(&e)
+	f.total.Add(1)
+}
+
+// Total reports how many events were ever recorded (including overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.total.Load()
+}
+
+// Sample retains one per-second metric snapshot, overwriting the oldest
+// once the ring covers the window. The engine tick calls it; tests may too.
+func (f *FlightRecorder) Sample(s MetricSample) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.samples) < cap(f.samples) {
+		f.samples = append(f.samples, s)
+		return
+	}
+	f.samples[f.sampleNext] = s
+	f.sampleNext = (f.sampleNext + 1) % cap(f.samples)
+}
+
+// Events returns the retained events with At in [now-window, now], oldest
+// first. Concurrent records may land mid-snapshot; each slot is read
+// atomically so every returned event is internally consistent.
+func (f *FlightRecorder) Events(now time.Time) []obs.Event {
+	if f == nil {
+		return nil
+	}
+	cutoff := now.Add(-f.window)
+	out := make([]obs.Event, 0, len(f.slots))
+	for i := range f.slots {
+		p := f.slots[i].Load()
+		if p == nil || p.At.Before(cutoff) {
+			continue
+		}
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Snapshot freezes the recorder into a Dump: the trailing event window,
+// the attached span recorder's retained spans, the attached timeline's
+// per-second buckets, and the per-second metric samples. tr (optional)
+// names the anomaly that caused the freeze.
+func (f *FlightRecorder) Snapshot(now time.Time, tr *Trigger) Dump {
+	d := Dump{WrittenAt: now}
+	if f == nil {
+		return d
+	}
+	d.Node = f.node
+	d.WindowSeconds = int(f.window / time.Second)
+	d.Trigger = tr
+	for _, e := range f.Events(now) {
+		d.Events = append(d.Events, dumpEvent(e))
+	}
+	if f.spans != nil {
+		cutoff := now.Add(-f.window)
+		for _, s := range f.spans.Snapshot() {
+			if s.End().Before(cutoff) {
+				continue
+			}
+			d.Spans = append(d.Spans, dumpSpan(s))
+		}
+	}
+	if f.tl != nil {
+		d.Seconds = f.tl.Snapshot()
+	}
+	f.mu.Lock()
+	d.Samples = append(d.Samples, f.samples...)
+	f.mu.Unlock()
+	sort.Slice(d.Samples, func(i, j int) bool { return d.Samples[i].Unix < d.Samples[j].Unix })
+	return d
+}
+
+// Dump is a frozen flight recording — the file format written next to an
+// anomaly and served at /debug/flightrecorder. Everything is plain JSON so
+// leasemon, tests, and humans parse it the same way.
+type Dump struct {
+	Node          string          `json:"node"`
+	WrittenAt     time.Time       `json:"written_at"`
+	WindowSeconds int             `json:"window_seconds"`
+	Trigger       *Trigger        `json:"trigger,omitempty"`
+	Events        []DumpEvent     `json:"events"`
+	Spans         []DumpSpan      `json:"spans,omitempty"`
+	Seconds       []loadtl.Second `json:"seconds,omitempty"`
+	Samples       []MetricSample  `json:"samples,omitempty"`
+}
+
+// DumpEvent is one protocol event in dump form (string-typed, zero fields
+// omitted — the same shape as /debug/events).
+type DumpEvent struct {
+	Type    string     `json:"type"`
+	At      time.Time  `json:"at"`
+	Node    string     `json:"node,omitempty"`
+	Client  string     `json:"client,omitempty"`
+	Object  string     `json:"object,omitempty"`
+	Volume  string     `json:"volume,omitempty"`
+	Epoch   int64      `json:"epoch,omitempty"`
+	Msg     string     `json:"msg,omitempty"`
+	N       int        `json:"n,omitempty"`
+	DurNS   int64      `json:"dur_ns,omitempty"`
+	Version int64      `json:"version,omitempty"`
+	Expire  *time.Time `json:"expire,omitempty"`
+}
+
+// DumpSpan is one causal span in dump form (the same shape as /debug/spans).
+type DumpSpan struct {
+	Trace  uint64    `json:"trace"`
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"`
+	Kind   string    `json:"kind"`
+	Node   string    `json:"node,omitempty"`
+	Client string    `json:"client,omitempty"`
+	Object string    `json:"object,omitempty"`
+	Volume string    `json:"volume,omitempty"`
+	Start  time.Time `json:"start"`
+	DurNS  int64     `json:"dur_ns"`
+	N      int       `json:"n,omitempty"`
+}
+
+func dumpEvent(e obs.Event) DumpEvent {
+	de := DumpEvent{
+		Type: e.Type.String(), At: e.At, Node: e.Node,
+		Client: string(e.Client), Object: string(e.Object),
+		Volume: string(e.Volume), Epoch: int64(e.Epoch),
+		N: e.N, DurNS: int64(e.Dur), Version: int64(e.Version),
+	}
+	if e.Msg != 0 {
+		de.Msg = e.Msg.String()
+	}
+	if !e.Expire.IsZero() {
+		expire := e.Expire
+		de.Expire = &expire
+	}
+	return de
+}
+
+func dumpSpan(s obs.Span) DumpSpan {
+	return DumpSpan{
+		Trace: s.Trace, ID: s.ID, Parent: s.Parent,
+		Kind: s.Kind.String(), Node: s.Node,
+		Client: string(s.Client), Object: string(s.Object),
+		Volume: string(s.Volume), Start: s.Start,
+		DurNS: int64(s.Dur), N: s.N,
+	}
+}
+
+// PreTriggerSpan reports how much event history before the trigger the dump
+// retains (0 when there is no trigger or no earlier event) — the quantity
+// the chaos acceptance test asserts on.
+func (d Dump) PreTriggerSpan() time.Duration {
+	if d.Trigger == nil || len(d.Events) == 0 {
+		return 0
+	}
+	first := d.Events[0].At
+	if !first.Before(d.Trigger.At) {
+		return 0
+	}
+	return d.Trigger.At.Sub(first)
+}
+
+// FileName builds the dump's file name: flight-<node>-<detector>-<unixms>.json.
+func (d Dump) FileName() string {
+	det := "manual"
+	if d.Trigger != nil {
+		det = d.Trigger.Detector
+	}
+	node := d.Node
+	if node == "" {
+		node = "node"
+	}
+	return fmt.Sprintf("flight-%s-%s-%d.json", sanitize(node), sanitize(det), d.WrittenAt.UnixMilli())
+}
+
+// sanitize keeps file names portable: anything outside [a-zA-Z0-9._-]
+// becomes '_'.
+func sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WriteDump writes d under dir (created if needed) and returns the file
+// path.
+func WriteDump(dir string, d Dump) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("health: dump dir: %w", err)
+	}
+	path := filepath.Join(dir, d.FileName())
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("health: encode dump: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("health: write dump: %w", err)
+	}
+	return path, nil
+}
+
+// ReadDump parses a dump file.
+func ReadDump(path string) (Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Dump{}, err
+	}
+	defer f.Close()
+	return ParseDump(f)
+}
+
+// ParseDump decodes a dump from r.
+func ParseDump(r io.Reader) (Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return Dump{}, fmt.Errorf("health: parse dump: %w", err)
+	}
+	return d, nil
+}
+
+// DumpDir resolves where a test harness should write flight dumps:
+// $FLIGHT_DUMP_DIR when set (CI exports it so failed chaos runs upload
+// their dumps as artifacts), otherwise fallback.
+func DumpDir(fallback string) string {
+	if d := os.Getenv("FLIGHT_DUMP_DIR"); d != "" {
+		return d
+	}
+	return fallback
+}
+
+// FailureDump freezes f into DumpDir(fallbackDir) under a synthetic
+// "test-failure" trigger naming the failed test. Chaos and integration
+// harnesses call it from a t.Cleanup guarded by t.Failed(), so a failing
+// run leaves its black box behind and CI uploads $FLIGHT_DUMP_DIR as an
+// artifact. now is passed in (rather than read here) so callers on
+// simulated time freeze the right window.
+func FailureDump(f *FlightRecorder, now time.Time, testName, fallbackDir string) (string, error) {
+	tr := &Trigger{Detector: "test-failure", At: now, Detail: testName}
+	return WriteDump(DumpDir(fallbackDir), f.Snapshot(now, tr))
+}

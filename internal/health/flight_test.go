@@ -1,0 +1,224 @@
+package health
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/loadtl"
+	"repro/internal/obs"
+)
+
+func evAt(at time.Time, typ obs.EventType) obs.Event {
+	return obs.Event{Type: typ, At: at, Node: "n"}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Observe(obs.Event{Type: obs.EvConnect})
+	f.Sample(MetricSample{})
+	f.AttachSpans(nil)
+	f.AttachTimeline(nil)
+	if f.Total() != 0 {
+		t.Errorf("nil Total = %d", f.Total())
+	}
+	if got := f.Events(clock.Epoch); got != nil {
+		t.Errorf("nil Events = %v", got)
+	}
+	if f.Window() != 0 {
+		t.Errorf("nil Window = %v", f.Window())
+	}
+	d := f.Snapshot(clock.Epoch, nil)
+	if len(d.Events) != 0 {
+		t.Errorf("nil Snapshot has %d events", len(d.Events))
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder("n", 4, time.Minute)
+	base := clock.Epoch
+	for i := 0; i < 10; i++ {
+		f.Observe(evAt(base.Add(time.Duration(i)*time.Second), obs.EvConnect))
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	events := f.Events(base.Add(10 * time.Second))
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4 (ring size)", len(events))
+	}
+	// The ring must retain the newest 4, oldest first.
+	for i, e := range events {
+		want := base.Add(time.Duration(6+i) * time.Second)
+		if !e.At.Equal(want) {
+			t.Errorf("event %d at %v, want %v", i, e.At, want)
+		}
+	}
+}
+
+func TestFlightRecorderWindowFilter(t *testing.T) {
+	f := NewFlightRecorder("n", 64, 5*time.Second)
+	base := clock.Epoch
+	for i := 0; i < 10; i++ {
+		f.Observe(evAt(base.Add(time.Duration(i)*time.Second), obs.EvConnect))
+	}
+	now := base.Add(9 * time.Second)
+	events := f.Events(now)
+	// Window [now-5s, now] = seconds 4..9.
+	if len(events) != 6 {
+		t.Fatalf("retained %d events in window, want 6", len(events))
+	}
+	if events[0].At.Before(now.Add(-5 * time.Second)) {
+		t.Errorf("event %v escapes the window", events[0].At)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder("n", 128, time.Minute)
+	base := clock.Epoch
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Observe(evAt(base.Add(time.Duration(i)*time.Millisecond), obs.EvMsgSent))
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		events := f.Events(base.Add(time.Hour))
+		for j := 1; j < len(events); j++ {
+			if events[j].At.Before(events[j-1].At) {
+				t.Fatalf("snapshot not sorted at %d", j)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightSampleRing(t *testing.T) {
+	f := NewFlightRecorder("n", 8, 3*time.Second) // sample capacity 4
+	for i := 0; i < 10; i++ {
+		f.Sample(MetricSample{Unix: int64(i), Values: map[string]float64{"x": float64(i)}})
+	}
+	d := f.Snapshot(clock.Epoch.Add(time.Minute), nil)
+	if len(d.Samples) != cap(f.samples) {
+		t.Fatalf("retained %d samples, want %d", len(d.Samples), cap(f.samples))
+	}
+	// Newest samples retained, sorted ascending.
+	for i := 1; i < len(d.Samples); i++ {
+		if d.Samples[i].Unix <= d.Samples[i-1].Unix {
+			t.Errorf("samples not ascending: %d then %d", d.Samples[i-1].Unix, d.Samples[i].Unix)
+		}
+	}
+	if last := d.Samples[len(d.Samples)-1].Unix; last != 9 {
+		t.Errorf("newest sample unix = %d, want 9", last)
+	}
+}
+
+func TestSnapshotIncludesSpansAndTimeline(t *testing.T) {
+	base := clock.Epoch
+	sim := clock.NewSimulated(base.Add(10 * time.Second))
+	f := NewFlightRecorder("n", 64, 30*time.Second)
+	spans := obs.NewSpanRecorder(16, 1)
+	f.AttachSpans(spans)
+	tl := loadtl.New("n", 30, sim.Now)
+	f.AttachTimeline(tl)
+
+	spans.Record(obs.Span{Trace: 1, ID: 1, Kind: obs.SpanWrite, Start: base.Add(9 * time.Second), Dur: time.Second})
+	// An ancient span outside the window must be dropped.
+	spans.Record(obs.Span{Trace: 2, ID: 2, Kind: obs.SpanWrite, Start: base.Add(-time.Hour), Dur: time.Second})
+	tl.Observe(obs.Event{Type: obs.EvMsgSent, At: base.Add(9 * time.Second), Msg: 1})
+	f.Observe(evAt(base.Add(9*time.Second), obs.EvWriteApplied))
+
+	d := f.Snapshot(sim.Now(), &Trigger{Detector: DetEpochBump, At: sim.Now(), Threshold: 1, Observed: 2})
+	if len(d.Events) != 1 || d.Events[0].Type != "write-applied" {
+		t.Fatalf("events = %+v", d.Events)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Trace != 1 {
+		t.Fatalf("spans = %+v, want only the in-window span", d.Spans)
+	}
+	if len(d.Seconds) != 1 || d.Seconds[0].Msgs != 1 {
+		t.Fatalf("seconds = %+v", d.Seconds)
+	}
+	if d.Trigger == nil || d.Trigger.Detector != DetEpochBump {
+		t.Fatalf("trigger = %+v", d.Trigger)
+	}
+}
+
+func TestDumpRoundTripAndPreTriggerSpan(t *testing.T) {
+	base := clock.Epoch
+	f := NewFlightRecorder("srv one", 64, 30*time.Second)
+	for i := 0; i < 5; i++ {
+		f.Observe(evAt(base.Add(time.Duration(i)*time.Second), obs.EvMsgRecv))
+	}
+	tr := Trigger{Detector: DetUnreachable, At: base.Add(4 * time.Second), Threshold: 3, Observed: 5, Detail: "test"}
+	d := f.Snapshot(base.Add(6*time.Second), &tr)
+
+	dir := t.TempDir()
+	path, err := WriteDump(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := filepath.Base(path); strings.ContainsAny(name, " ") || !strings.HasPrefix(name, "flight-srv_one-unreachable-growth-") {
+		t.Errorf("unexpected dump file name %q", name)
+	}
+	got, err := ReadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "srv one" || len(got.Events) != 5 || got.Trigger == nil {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Trigger.Detector != DetUnreachable || got.Trigger.Observed != 5 || got.Trigger.Threshold != 3 {
+		t.Fatalf("trigger round trip: %+v", got.Trigger)
+	}
+	if span := got.PreTriggerSpan(); span != 4*time.Second {
+		t.Errorf("PreTriggerSpan = %v, want 4s", span)
+	}
+}
+
+func TestDumpDirEnvOverride(t *testing.T) {
+	t.Setenv("FLIGHT_DUMP_DIR", "/tmp/override")
+	if got := DumpDir("fallback"); got != "/tmp/override" {
+		t.Errorf("DumpDir = %q", got)
+	}
+	t.Setenv("FLIGHT_DUMP_DIR", "")
+	if got := DumpDir("fallback"); got != "fallback" {
+		t.Errorf("DumpDir = %q", got)
+	}
+}
+
+// BenchmarkFlightDisabled gates the zero-allocation disabled path: a nil
+// *FlightRecorder must cost one nil check and never let the event escape.
+// `make bench-disabled` fails the build if allocs/op or B/op is nonzero.
+func BenchmarkFlightDisabled(b *testing.B) {
+	var f *FlightRecorder
+	e := obs.Event{Type: obs.EvWriteApplied, At: clock.Epoch, Node: "bench", Object: "o", Volume: "v"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(e)
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlightRecorder("bench", 8192, time.Minute)
+	e := obs.Event{Type: obs.EvWriteApplied, At: clock.Epoch, Node: "bench", Object: "o", Volume: "v"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Observe(e)
+	}
+}

@@ -66,6 +66,7 @@ func TestScoped(t *testing.T) {
 		{"clockcheck", "repro/internal/clock", false},     // the one legitimate wall-clock layer
 		{"clockcheck", "repro/internal/transport", false}, // raw sockets live on real time
 		{"clockcheck", "repro/cmd/leased", false},         // daemons stamp process lifetimes
+		{"clockcheck", "repro/internal/health", true},     // flight timestamps must replay under sim clocks
 		{"lockorder", "repro/internal/server", true},
 		{"lockorder", "repro/internal/proxy", true},
 		{"lockorder", "repro/internal/client", false},
@@ -75,7 +76,8 @@ func TestScoped(t *testing.T) {
 		{"metricreg", "repro/cmd/leased", true},
 		{"metricreg", "other/module", false},
 		{"ctxclean", "repro/internal/server", true},
-		{"ctxclean", "repro/internal/sim", false}, // simulation steps synchronously
+		{"ctxclean", "repro/internal/sim", false},   // simulation steps synchronously
+		{"ctxclean", "repro/internal/health", true}, // the engine's tick goroutine must stop cleanly
 		{"nosuch", "repro/internal/server", false},
 	}
 	for _, c := range cases {

@@ -37,7 +37,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	}
 	switch analyzer {
 	case "clockcheck":
-		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics")
+		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health")
 	case "lockorder":
 		return in("server", "proxy")
 	case "wiresym":
@@ -45,7 +45,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	case "metricreg":
 		return true
 	case "ctxclean":
-		return in("server", "client", "proxy", "obs", "loadtl", "audit")
+		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health")
 	default:
 		return false
 	}

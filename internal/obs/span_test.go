@@ -133,6 +133,64 @@ func TestSpanRecorderConcurrent(t *testing.T) {
 	}
 }
 
+// TestSpanRecorderConcurrentWraparound forces the cursor around a tiny ring
+// many times while snapshots run — under -race this pins the hardest
+// interleaving: Snapshot reading slots that writers are actively reusing.
+// Every observed span must be intact (non-zero ID) and each goroutine's own
+// spans must never appear out of per-writer order within one snapshot.
+func TestSpanRecorderConcurrentWraparound(t *testing.T) {
+	const writers, perWriter, ring = 4, 2000, 8
+	r := NewSpanRecorder(ring, 1)
+	start := time.Unix(3000, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Trace encodes the writer, ID the per-writer sequence.
+				r.Record(Span{Trace: uint64(w + 1), ID: uint64(i + 1), Kind: SpanWrite, Node: "srv", Start: start})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				last := make(map[uint64]uint64, writers)
+				for _, s := range r.Snapshot() {
+					if s.ID == 0 || s.Trace == 0 {
+						t.Error("torn span in snapshot")
+						return
+					}
+					if prev, ok := last[s.Trace]; ok && s.ID <= prev {
+						t.Errorf("writer %d spans out of order: %d after %d", s.Trace, s.ID, prev)
+						return
+					}
+					last[s.Trace] = s.ID
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	if got := r.Total(); got != writers*perWriter {
+		t.Errorf("total = %d, want %d", got, writers*perWriter)
+	}
+	if got := len(r.Snapshot()); got != ring {
+		t.Errorf("post-run snapshot len = %d, want %d", got, ring)
+	}
+}
+
 func TestSpanSlowOpLog(t *testing.T) {
 	sink := NewCountSink()
 	r := NewSpanRecorder(8, 1)

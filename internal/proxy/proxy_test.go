@@ -1,12 +1,15 @@
 package proxy_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/proxy"
@@ -25,6 +28,7 @@ type hierarchy struct {
 	rec    *metrics.Recorder
 	obs    *obs.Observer
 	aud    *audit.Auditor
+	flight *health.FlightRecorder
 }
 
 func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
@@ -37,7 +41,20 @@ func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
 		ObjectLease: 30 * time.Minute,
 		VolumeLease: time.Second,
 	}, false))
-	observer := &obs.Observer{Tracer: obs.NewTracer(aud)}
+	flight := health.NewFlightRecorder("edge-proxy", 16384, time.Minute)
+	observer := &obs.Observer{Tracer: obs.NewTracer(aud, flight)}
+	// Registered first so it runs last, after the audit check below may have
+	// marked the test failed: a failing hierarchy run leaves its flight
+	// recording behind ($FLIGHT_DUMP_DIR in CI).
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		fallback := filepath.Join(os.TempDir(), "lease-flightdumps")
+		if path, err := health.FailureDump(flight, time.Now(), t.Name(), fallback); err == nil {
+			t.Logf("flight dump: %s", path)
+		}
+	})
 	t.Cleanup(func() {
 		if err := aud.Err(); err != nil {
 			t.Errorf("consistency audit: %v", err)
@@ -89,7 +106,7 @@ func buildHierarchy(t *testing.T, mutate func(*proxy.Config)) *hierarchy {
 		t.Fatalf("proxy: %v", err)
 	}
 	t.Cleanup(func() { px.Close() })
-	return &hierarchy{net: net, origin: origin, px: px, rec: rec, obs: observer, aud: aud}
+	return &hierarchy{net: net, origin: origin, px: px, rec: rec, obs: observer, aud: aud, flight: flight}
 }
 
 func (h *hierarchy) dial(t *testing.T, id string) *client.Client {

@@ -3,6 +3,8 @@ package server_test
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -23,11 +26,12 @@ import (
 // emit into the same Observer); any invariant violation fails the test at
 // cleanup.
 type testEnv struct {
-	net *transport.Memory
-	srv *server.Server
-	rec *metrics.Recorder
-	obs *obs.Observer
-	aud *audit.Auditor
+	net    *transport.Memory
+	srv    *server.Server
+	rec    *metrics.Recorder
+	obs    *obs.Observer
+	aud    *audit.Auditor
+	flight *health.FlightRecorder
 }
 
 // tableCfg are the default lease parameters for live tests: short volume
@@ -66,7 +70,21 @@ func startServer(t *testing.T, table core.Config, mutate func(*server.Config)) *
 		aud.Register(observer.Metrics)
 	}
 	ring := obs.NewRingSink(8192)
-	observer.Tracer = obs.NewTracer(append(observer.Tracer.Sinks(), aud, ring)...)
+	flight := health.NewFlightRecorder("srv", 16384, time.Minute)
+	observer.Tracer = obs.NewTracer(append(observer.Tracer.Sinks(), aud, ring, flight)...)
+	// Registered first so it runs last (after the audit check below has had
+	// its chance to mark the test failed): a failing run freezes the flight
+	// recorder so the black box survives the failure. CI sets
+	// $FLIGHT_DUMP_DIR and uploads it as an artifact.
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		fallback := filepath.Join(os.TempDir(), "lease-flightdumps")
+		if path, err := health.FailureDump(flight, time.Now(), t.Name(), fallback); err == nil {
+			t.Logf("flight dump: %s", path)
+		}
+	})
 	t.Cleanup(func() {
 		err := aud.Err()
 		if err == nil {
@@ -99,7 +117,7 @@ func startServer(t *testing.T, table core.Config, mutate func(*server.Config)) *
 			t.Fatal(err)
 		}
 	}
-	return &testEnv{net: net, srv: srv, rec: rec, obs: observer, aud: aud}
+	return &testEnv{net: net, srv: srv, rec: rec, obs: observer, aud: aud, flight: flight}
 }
 
 // dial connects a client.
