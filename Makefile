@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled flightdump figures fuzz examples loadtest clean
+.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled bench-diff flightdump figures fuzz examples loadtest clean
 
 all: check
 
@@ -56,17 +56,28 @@ bench:
 # BenchmarkConcurrentWrites, whose writes/s metric across 1/4/16 volumes is
 # the sharded write path's scaling curve. Parameterized so CI can run a
 # short preset: `make bench-json BENCH_PKGS=./internal/obs BENCH_FLAGS=...`.
-BENCH_OUT   ?= BENCH_PR4.json
+BENCH_OUT   ?= BENCH_PR7.json
 BENCH_PKGS  ?= ./...
 BENCH_FLAGS ?= -bench=. -benchmem
 bench-json:
 	$(GO) test -run '^$$' $(BENCH_FLAGS) $(BENCH_PKGS) | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
+# Perf-regression gate: compare two bench-json snapshots with cmd/benchdiff
+# (exit 2 on regression). Only benchmarks present in BOTH snapshots are
+# compared, so an old baseline keeps gating the benchmarks it knows about.
+# The root-package simulator benchmarks allocate millions of objects per op
+# and their allocs/op average jitters by ~0.001% with the iteration count,
+# so they get a hair of alloc slack; hot-path benchmarks stay exact (+0%).
+BENCH_BASE ?= BENCH_PR4.json
+BENCH_CAND ?= BENCH_PR7.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff -rule 'repro Benchmark=alloc:0.01' $(BENCH_BASE) $(BENCH_CAND)
+
 # Gate: the instrumented hot paths must stay allocation-free when tracing
 # is disabled (BenchmarkEmitDisabled / BenchmarkSpanDisabled /
-# BenchmarkFlightDisabled report 0 B/op).
+# BenchmarkFlightDisabled / BenchmarkCostDisabled report 0 B/op).
 bench-disabled:
-	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span|Flight)Disabled' -benchmem ./internal/obs ./internal/health | tee /dev/stderr | \
+	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span|Flight|Cost)Disabled' -benchmem ./internal/obs ./internal/health ./internal/cost | tee /dev/stderr | \
 		awk '/Disabled/ && ($$(NF-1) != 0 || $$(NF-3) != 0) { bad = 1 } END { exit bad }'
 
 # Smoke test for the flight recorder: run the chaos scenario (partition a

@@ -8,92 +8,42 @@
 // iterations, ns/op, B/op, and allocs/op. Custom per-op metrics reported via
 // testing.B.ReportMetric (e.g. the simulator's "msgs" and "bytes") land in
 // the record's "extra" map keyed by their unit.
+//
+// The snapshot also records where it came from — git commit (and whether
+// the tree was dirty), Go version, GOOS/GOARCH, and GOMAXPROCS — so that
+// `benchdiff` can label each side of a comparison. -no-meta suppresses the
+// capture for byte-reproducible output.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
 )
 
-type record struct {
-	Package     string             `json:"package"`
-	Name        string             `json:"name"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Extra       map[string]float64 `json:"extra,omitempty"`
-}
-
-type snapshot struct {
-	GeneratedAt string   `json:"generated_at"`
-	Benchmarks  []record `json:"benchmarks"`
-}
-
-// parseBench parses one benchmark result line: the name, the iteration
-// count, then (value, unit) pairs such as "6264065 ns/op" or "40474 msgs".
-func parseBench(pkg, line string) (record, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return record{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
+func run(in io.Reader, out io.Writer, withMeta bool, now time.Time) error {
+	recs, err := benchfmt.ParseTestOutput(in)
 	if err != nil {
-		return record{}, false
+		return err
 	}
-	r := record{Package: pkg, Name: fields[0], Iterations: iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return record{}, false
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			r.NsPerOp = val
-		case "B/op":
-			r.BytesPerOp = int64(val)
-		case "allocs/op":
-			r.AllocsPerOp = int64(val)
-		default:
-			if r.Extra == nil {
-				r.Extra = make(map[string]float64)
-			}
-			r.Extra[unit] = val
-		}
+	s := benchfmt.Snapshot{
+		GeneratedAt: benchfmt.Stamp(now),
+		Benchmarks:  recs,
 	}
-	return r, true
+	if withMeta {
+		s.Meta = benchfmt.CaptureMeta()
+	}
+	return benchfmt.Write(out, s)
 }
 
 func main() {
-	out := snapshot{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Benchmarks:  []record{},
-	}
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "pkg: ") {
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
-			continue
-		}
-		if r, ok := parseBench(pkg, line); ok {
-			out.Benchmarks = append(out.Benchmarks, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	noMeta := flag.Bool("no-meta", false, "omit run metadata (git commit, go version, GOMAXPROCS)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, !*noMeta, time.Now()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,46 +1,58 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
 
-func TestParseBenchStandardLine(t *testing.T) {
-	r, ok := parseBench("repro/internal/audit",
-		"BenchmarkAuditObserve  \t13769095\t        86.60 ns/op\t       0 B/op\t       0 allocs/op")
-	if !ok {
-		t.Fatal("line not recognized")
+	"repro/internal/benchfmt"
+)
+
+// Line-level parsing is covered in internal/benchfmt; here we pin the
+// command's plumbing — stdin to snapshot, with and without metadata.
+
+const sampleOutput = `goos: linux
+pkg: repro/internal/wire
+BenchmarkWirePath/encode/Hello 	 1000000	 120 ns/op	 8 B/op	 1 allocs/op
+BenchmarkWirePath/decode/Hello 	  900000	 140 ns/op	16 B/op	 2 allocs/op
+PASS
+ok  	repro/internal/wire	2.1s
+`
+
+func TestRunProducesSnapshotWithMeta(t *testing.T) {
+	var buf strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &buf, true, time.Unix(1754500000, 0)); err != nil {
+		t.Fatal(err)
 	}
-	if r.Name != "BenchmarkAuditObserve" || r.Iterations != 13769095 ||
-		r.NsPerOp != 86.60 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
-		t.Errorf("parsed %+v", r)
+	var s benchfmt.Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &s); err != nil {
+		t.Fatal(err)
 	}
-	if r.Extra != nil {
-		t.Errorf("unexpected extra metrics: %v", r.Extra)
+	if len(s.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(s.Benchmarks))
+	}
+	if s.Benchmarks[0].Package != "repro/internal/wire" || s.Benchmarks[0].NsPerOp != 120 {
+		t.Errorf("record = %+v", s.Benchmarks[0])
+	}
+	if s.GeneratedAt != "2025-08-06T17:06:40Z" {
+		t.Errorf("generated_at = %q", s.GeneratedAt)
+	}
+	if s.Meta == nil || s.Meta.GoVersion == "" || s.Meta.GOMAXPROCS < 1 {
+		t.Errorf("meta missing or incomplete: %+v", s.Meta)
 	}
 }
 
-func TestParseBenchCustomMetrics(t *testing.T) {
-	r, ok := parseBench("repro",
-		"BenchmarkTable1/PollEachRead \t     198\t   6264065 ns/op\t  82583528 bytes\t     40474 msgs\t         0 stale-rate\t 1806905 B/op\t    1173 allocs/op")
-	if !ok {
-		t.Fatal("line not recognized")
+func TestRunNoMeta(t *testing.T) {
+	var buf strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &buf, false, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
 	}
-	if r.NsPerOp != 6264065 || r.BytesPerOp != 1806905 || r.AllocsPerOp != 1173 {
-		t.Errorf("parsed %+v", r)
+	var s benchfmt.Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &s); err != nil {
+		t.Fatal(err)
 	}
-	if r.Extra["msgs"] != 40474 || r.Extra["bytes"] != 82583528 {
-		t.Errorf("extra = %v", r.Extra)
-	}
-}
-
-func TestParseBenchRejectsNonBenchLines(t *testing.T) {
-	for _, line := range []string{
-		"goos: linux",
-		"PASS",
-		"ok  \trepro\t2.777s",
-		"BenchmarkBroken notanumber 5 ns/op",
-		"",
-	} {
-		if _, ok := parseBench("p", line); ok {
-			t.Errorf("line %q wrongly parsed as a benchmark", line)
-		}
+	if s.Meta != nil {
+		t.Errorf("-no-meta still captured %+v", s.Meta)
 	}
 }

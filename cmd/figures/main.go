@@ -18,6 +18,15 @@
 //
 //	figures -live http://127.0.0.1:7401/debug/load -out results/
 //	figures -live dump.json
+//
+// -cost does the same for the wire-path cost accounting: it reads a
+// /debug/cost dump (URL, or a file saved from one — e.g. `leasebench
+// -cost-out`) and emits figcost.tsv, per-kind live message counts labelled
+// with the simulator's message-class names so the live protocol mix lines
+// up against the Figure 5-7 message accounting:
+//
+//	figures -cost http://127.0.0.1:7401/debug/cost
+//	figures -cost cost.json -out results/
 package main
 
 import (
@@ -31,7 +40,9 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cost"
 	"repro/internal/loadtl"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -50,6 +61,7 @@ func run() error {
 	outDir := flag.String("out", ".", "directory for TSV output")
 	scaleName := flag.String("scale", "small", "workload scale: small or full")
 	live := flag.String("live", "", "render a live /debug/load dump (URL or file) as a cumulative load histogram instead of simulating")
+	costSrc := flag.String("cost", "", "render a live /debug/cost dump (URL or file) as per-kind message counts in the Figure 5-7 TSV shape")
 	flag.Parse()
 
 	scale := bench.ScaleSmall
@@ -64,6 +76,12 @@ func run() error {
 			return err
 		}
 		return emitLive(*live, *outDir)
+	}
+	if *costSrc != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		return emitCost(*costSrc, *outDir)
 	}
 	if !*all && *fig == 0 && !*table1 && !*callouts && !*ablations {
 		*all = true
@@ -167,6 +185,115 @@ func emitLive(src, outDir string) error {
 		d.Burst.Peak, d.Burst.Mean, d.Burst.Ratio)
 	for i := range loads {
 		fmt.Printf("   load>=%-6d %d period(s)\n", loads[i], periods[i])
+	}
+	return nil
+}
+
+// kindClass maps a wire kind name from a cost dump onto the simulator's
+// message-class label (metrics.MsgClass), so live per-kind counts and the
+// simulator's Figure 5-7 message accounting share a vocabulary. Kinds the
+// simulator does not model (session setup, client-driven writes) keep a
+// kebab-case version of their wire name.
+func kindClass(kind string) string {
+	switch kind {
+	case "ReqObjLease":
+		return metrics.MsgObjLeaseReq.String()
+	case "ObjLease":
+		return metrics.MsgObjLease.String()
+	case "ReqVolLease":
+		return metrics.MsgVolLeaseReq.String()
+	case "VolLease":
+		return metrics.MsgVolLease.String()
+	case "Invalidate":
+		return metrics.MsgInvalidate.String()
+	case "AckInvalidate":
+		return metrics.MsgAckInvalidate.String()
+	case "MustRenewAll":
+		return metrics.MsgMustRenewAll.String()
+	case "RenewObjLeases":
+		return metrics.MsgRenewObjLeases.String()
+	case "InvalRenew":
+		return metrics.MsgInvalRenew.String()
+	case "Hello":
+		return "hello"
+	case "WriteReq":
+		return "write-req"
+	case "WriteReply":
+		return "write-reply"
+	case "Error":
+		return "error"
+	default:
+		return strings.ToLower(kind)
+	}
+}
+
+// fetchCostDump loads a cost dump from a /debug/cost URL or a file holding
+// one (e.g. written by `leasebench -cost-out`).
+func fetchCostDump(src string) (cost.Dump, error) {
+	var (
+		raw []byte
+		err error
+	)
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, herr := http.Get(src)
+		if herr != nil {
+			return cost.Dump{}, herr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return cost.Dump{}, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		raw, err = io.ReadAll(resp.Body)
+	} else {
+		raw, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return cost.Dump{}, err
+	}
+	var d cost.Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return cost.Dump{}, fmt.Errorf("decode %s: %w (expected a /debug/cost dump)", src, err)
+	}
+	return d, nil
+}
+
+// emitCost turns a live cost dump into figcost.tsv: one row per message
+// class, y = live message count — the per-kind counterpart of the
+// simulator's Figure 5-7 message totals.
+func emitCost(src, outDir string) error {
+	d, err := fetchCostDump(src)
+	if err != nil {
+		return err
+	}
+	if len(d.Kinds) == 0 {
+		return fmt.Errorf("%s: cost dump has no per-kind traffic (drive some load first)", src)
+	}
+	series := make([]bench.Series, 0, len(d.Kinds))
+	var total int64
+	for i, k := range d.Kinds {
+		series = append(series, bench.Series{
+			Label: kindClass(k.Kind),
+			X:     []float64{float64(i)},
+			Y:     []float64{float64(k.Messages())},
+		})
+		total += k.Messages()
+	}
+
+	path := filepath.Join(outDir, "figcost.tsv")
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := bench.WriteTSV(out, series); err != nil {
+		return err
+	}
+
+	fmt.Printf("== Live cost: per-kind message counts for %q -> %s ==\n", d.Node, path)
+	fmt.Printf("   window %s .. %s, %d messages total\n",
+		d.StartedAt.Format("15:04:05"), d.CapturedAt.Format("15:04:05"), total)
+	for _, s := range series {
+		fmt.Printf("   %-18s %10.0f msgs (%.1f%%)\n", s.Label, s.Y[0], 100*s.Y[0]/float64(total))
 	}
 	return nil
 }

@@ -8,7 +8,10 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cost"
 	"repro/internal/loadtl"
+	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 func TestEmitFigureWritesTSV(t *testing.T) {
@@ -88,6 +91,93 @@ func TestEmitLive(t *testing.T) {
 		if lines[i] != want[i] {
 			t.Errorf("row %d = %q, want %q", i, lines[i], want[i])
 		}
+	}
+}
+
+func TestKindClassCoversProtocol(t *testing.T) {
+	// Every real wire kind maps to a stable lowercase label, and the kinds
+	// the simulator models map to its exact MsgClass names.
+	for i := 1; i < wire.NumKinds; i++ {
+		name := wire.Kind(i).String()
+		label := kindClass(name)
+		if label == "" || strings.ToLower(label) != label {
+			t.Errorf("kind %s -> %q", name, label)
+		}
+	}
+	for kind, want := range map[string]metrics.MsgClass{
+		"ReqObjLease":    metrics.MsgObjLeaseReq,
+		"ObjLease":       metrics.MsgObjLease,
+		"ReqVolLease":    metrics.MsgVolLeaseReq,
+		"VolLease":       metrics.MsgVolLease,
+		"Invalidate":     metrics.MsgInvalidate,
+		"AckInvalidate":  metrics.MsgAckInvalidate,
+		"MustRenewAll":   metrics.MsgMustRenewAll,
+		"RenewObjLeases": metrics.MsgRenewObjLeases,
+		"InvalRenew":     metrics.MsgInvalRenew,
+	} {
+		if got := kindClass(kind); got != want.String() {
+			t.Errorf("kindClass(%s) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestEmitCost(t *testing.T) {
+	dir := t.TempDir()
+	dump := cost.Dump{
+		Node: "bench",
+		Kinds: []cost.KindStat{
+			{Kind: "ReqObjLease", FramesSent: 100, FramesRecv: 100},
+			{Kind: "ObjLease", FramesSent: 100, FramesRecv: 98},
+			{Kind: "Invalidate", FramesSent: 40, FramesRecv: 40},
+		},
+	}
+	raw, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "cost.json")
+	if err := os.WriteFile(src, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitCost(src, dir); err != nil {
+		t.Fatalf("emitCost: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figcost.tsv"))
+	if err != nil {
+		t.Fatalf("TSV not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Messages() = max(sent, recv): the lost grant still counts as 100.
+	want := []string{
+		"obj-lease-req\t0\t100",
+		"obj-lease\t1\t100",
+		"invalidate\t2\t40",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("TSV rows = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestEmitCostRejectsGarbageAndIdle(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "junk.json")
+	if err := os.WriteFile(src, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitCost(src, dir); err == nil {
+		t.Error("garbage dump accepted")
+	}
+	idle := filepath.Join(dir, "idle.json")
+	if err := os.WriteFile(idle, []byte(`{"node":"s","totals":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitCost(idle, dir); err == nil {
+		t.Error("idle cost dump accepted")
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/health"
 	"repro/internal/loadtl"
 	"repro/internal/metrics"
@@ -54,6 +56,8 @@ type options struct {
 	trace      bool
 	spanSample int
 	flightDir  string
+	cost       bool
+	costOut    string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -74,6 +78,8 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.spanSample, "span-sample", 1, "with -trace, record 1 in N traces")
 	fs.StringVar(&o.flightDir, "flight-dir", "flight-dumps",
 		"with -audit, write a flight recorder dump here when a violation is recorded ($FLIGHT_DUMP_DIR overrides)")
+	fs.BoolVar(&o.cost, "cost", true, "account per-message-kind wire-path cost and report it after the run")
+	fs.StringVar(&o.costOut, "cost-out", "", "write the final cost dump (the /debug/cost JSON) to this file; `figures -cost` renders it")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -117,6 +123,7 @@ type result struct {
 	spans                 *obs.SpanRecorder // nil unless -trace
 	load                  *loadtl.Timeline  // nil unless -trace
 	health                *health.Engine    // nil unless -audit
+	cost                  *cost.Accounting  // nil unless -cost
 }
 
 // execute runs the load.
@@ -206,6 +213,14 @@ func execute(o options) (*result, error) {
 		}
 	}
 
+	var acct *cost.Accounting
+	if o.cost {
+		acct = cost.New("bench", time.Now)
+		if observer != nil {
+			acct.Register(observer.Metrics)
+		}
+	}
+
 	var srv *server.Server
 	if addr == "" {
 		// Self-contained: build the server here.
@@ -217,6 +232,10 @@ func execute(o options) (*result, error) {
 			net = mem
 			addr = "bench-origin:1"
 		}
+		// Cost accounting wraps the raw network innermost; server and clients
+		// share the process, so each message is accounted twice: once sent,
+		// once received (KindStat.Messages() takes the max of the two).
+		net = acct.Network(net)
 		if observer != nil {
 			// Tap the wire so the load timeline sees every message. Server
 			// and clients share the process (and the observer), so each
@@ -253,7 +272,7 @@ func execute(o options) (*result, error) {
 			}
 		}
 	} else {
-		net = transport.TCP{}
+		net = acct.Network(transport.TCP{})
 		if observer != nil {
 			net = transport.ObserveNetwork(net, obs.WireObserver(observer, "bench", time.Now))
 		}
@@ -333,6 +352,7 @@ func execute(o options) (*result, error) {
 	res.spans = spanRec
 	res.load = load
 	res.health = engine
+	res.cost = acct
 	return res, nil
 }
 
@@ -392,6 +412,35 @@ func (r *result) report(out *os.File, o options) error {
 		b := r.load.BurstWindow(0)
 		fmt.Fprintf(out, "load: peak %d msg/s, mean %.1f msg/s, burst ratio %.1f (%d busy / %d idle seconds)\n",
 			b.Peak, b.Mean, b.Ratio, b.BusySeconds, b.IdleSeconds)
+	}
+	if r.cost != nil {
+		d := r.cost.Snapshot()
+		msgs := int64(0)
+		for _, k := range d.Kinds {
+			msgs += k.Messages()
+		}
+		fmt.Fprintf(out, "cost: %d messages, %d bytes sent, %d bytes received\n",
+			msgs, d.Totals.BytesSent, d.Totals.BytesRecv)
+		for _, k := range d.Kinds {
+			line := fmt.Sprintf("cost: %-16s %8d msgs %10d bytes", k.Kind, k.Messages(), k.BytesSent+k.BytesRecv)
+			if k.Encode != nil {
+				line += fmt.Sprintf("  encode p99 %vns", k.Encode.P99Ns)
+			}
+			if k.Decode != nil {
+				line += fmt.Sprintf("  decode p99 %vns", k.Decode.P99Ns)
+			}
+			fmt.Fprintln(out, line)
+		}
+		if o.costOut != "" {
+			raw, err := json.MarshalIndent(d, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.costOut, append(raw, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "cost: dump written to %s\n", o.costOut)
+		}
 	}
 	if r.aud != nil {
 		s := r.aud.Snapshot()

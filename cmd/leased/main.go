@@ -17,7 +17,11 @@
 // and ?since=). -spans enables causal write-path tracing (spans land in
 // /debug/spans; -span-sample keeps 1 in N traces), and -load-window keeps a
 // per-second load timeline served at /debug/load and exported as the
-// lease_load_* gauges.
+// lease_load_* gauges. -cost (default on) accounts per-message-kind frames,
+// bytes, and encode/decode time at the transport boundary (lease_cost_*
+// metrics, /debug/cost with ?kind= and ?volume= filters), and
+// -profile-interval samples heap/goroutine (optionally CPU) profiles into a
+// flight-recorder-style ring served at /debug/profile/ring.
 //
 // -audit attaches the online consistency auditor (internal/audit): every
 // protocol event also feeds a shadow model of the lease state, violations
@@ -37,7 +41,9 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/health"
 	"repro/internal/loadtl"
 	"repro/internal/metrics"
@@ -78,6 +84,10 @@ type options struct {
 	flight     int
 	flightWin  time.Duration
 	flightDir  string
+	cost       bool
+	profEvery  time.Duration
+	profRing   int
+	profCPU    time.Duration
 
 	// net overrides the transport (tests); nil means TCP.
 	net transport.Network
@@ -96,6 +106,8 @@ type instance struct {
 	load    *loadtl.Timeline
 	flight  *health.FlightRecorder
 	health  *health.Engine
+	cost    *cost.Accounting
+	prof    *cost.Profiler
 	seeded  int
 	mode    core.Mode
 	volLog  string
@@ -107,6 +119,7 @@ func (in *instance) Close() {
 	if in.debug != nil {
 		in.debug.Close()
 	}
+	in.prof.Close()
 	in.health.Close()
 	in.srv.Close()
 }
@@ -227,7 +240,26 @@ func start(opts options) (*instance, error) {
 		in.flight.AttachSpans(in.spans)
 	}
 	obs.RegisterRecorder(in.reg, in.rec)
-	netw = transport.ObserveNetwork(netw, obs.WireObserver(observer, opts.volume, time.Now))
+	if opts.cost {
+		in.cost = cost.New(opts.volume, time.Now)
+		in.cost.Register(in.reg)
+	}
+	if opts.profEvery > 0 {
+		in.prof = cost.NewProfiler(cost.ProfilerOptions{
+			Node:      opts.volume,
+			Clock:     clock.Real{},
+			Interval:  opts.profEvery,
+			Ring:      opts.profRing,
+			CPUWindow: opts.profCPU,
+			Logf:      log.Printf,
+		})
+		// Anomaly dumps freeze the profile ring alongside events and spans.
+		in.flight.AttachProfiles(in.prof)
+	}
+	// Cost accounting wraps the raw network INNERMOST so TCP conns still
+	// expose their frame-level capabilities (timed encode/decode); the wire
+	// observer counts messages from the outside.
+	netw = transport.ObserveNetwork(in.cost.Network(netw), obs.WireObserver(observer, opts.volume, time.Now))
 
 	cfg := server.Config{
 		Name:               opts.volume,
@@ -263,11 +295,18 @@ func start(opts options) (*instance, error) {
 		return nil, err
 	}
 	in.health.Start()
+	in.prof.Start()
 
 	if opts.debugAddr != "" {
 		var routes []obs.Route
 		if in.aud != nil {
 			routes = append(routes, obs.Route{Path: "/debug/audit", Handler: in.aud})
+		}
+		if in.cost != nil {
+			routes = append(routes, obs.Route{Path: "/debug/cost", Handler: cost.Handler(in.cost)})
+		}
+		if in.prof != nil {
+			routes = append(routes, obs.Route{Path: "/debug/profile/ring", Handler: cost.RingHandler(in.prof)})
 		}
 		if in.spans != nil {
 			routes = append(routes, obs.Route{Path: "/debug/spans", Handler: obs.SpansHandler(in.spans)})
@@ -314,6 +353,10 @@ func run() error {
 	flag.IntVar(&opts.flight, "flight", 8192, "protocol events retained by the flight recorder (0 = flight recorder off)")
 	flag.DurationVar(&opts.flightWin, "flight-window", time.Minute, "trailing window a flight dump covers")
 	flag.StringVar(&opts.flightDir, "flight-dir", "flight-dumps", "directory for flight recorder dump files ($FLIGHT_DUMP_DIR overrides)")
+	flag.BoolVar(&opts.cost, "cost", true, "account per-kind wire-path cost (lease_cost_* metrics and /debug/cost)")
+	flag.DurationVar(&opts.profEvery, "profile-interval", 0, "capture heap/goroutine profiles into the profile ring this often (0 = off)")
+	flag.IntVar(&opts.profRing, "profile-ring", 24, "profile captures retained for /debug/profile/ring")
+	flag.DurationVar(&opts.profCPU, "profile-cpu-window", 0, "also capture a CPU profile of this length each cycle (0 = off)")
 	flag.Parse()
 
 	in, err := start(opts)
@@ -340,6 +383,12 @@ func run() error {
 		}
 		if in.health != nil {
 			endpoints += " /debug/health /debug/flightrecorder"
+		}
+		if in.cost != nil {
+			endpoints += " /debug/cost"
+		}
+		if in.prof != nil {
+			endpoints += " /debug/profile/ring"
 		}
 		log.Printf("leased: debug server on http://%s (%s)", in.debug.Addr(), endpoints)
 	}

@@ -11,6 +11,10 @@
 //	leasemon -dump flight-....json host:port    fetch + pretty-print one dump
 //	leasemon -freeze host:port                  force the node to write a dump
 //
+// The fleet table's MSGS/S and BYTES/S columns come from two /metrics
+// samples of the lease_cost_* counters taken -rate-window apart; nodes
+// running with cost accounting disabled show "-".
+//
 // Endpoints are the debug addresses the daemons expose via -debug-addr.
 // The exit status is 0 when every endpoint is healthy, 1 on a usage or
 // scrape failure, and 2 when the fleet is reachable but some detector is
@@ -41,6 +45,8 @@ func run(out, errw io.Writer, argv []string) int {
 	fs := flag.NewFlagSet("leasemon", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	timeout := fs.Duration("timeout", 3*time.Second, "per-endpoint scrape timeout")
+	rateWin := fs.Duration("rate-window", time.Second,
+		"gap between the two /metrics samples behind the MSGS/S and BYTES/S columns (0 = skip rate sampling)")
 	dump := fs.String("dump", "", "fetch one dump from the endpoint: a flight-*.json name, or 'latest'")
 	dumps := fs.Bool("dumps", false, "list the endpoint's flight dump files")
 	freeze := fs.Bool("freeze", false, "force the endpoint to freeze its flight recorder to disk")
@@ -66,7 +72,7 @@ func run(out, errw io.Writer, argv []string) int {
 	case *freeze:
 		err = freezeDump(out, cl, eps[0])
 	default:
-		return fleet(out, errw, cl, eps)
+		return fleet(out, errw, cl, eps, *rateWin)
 	}
 	if err != nil {
 		fmt.Fprintln(errw, "leasemon:", err)
@@ -77,20 +83,23 @@ func run(out, errw io.Writer, argv []string) int {
 
 // row is one endpoint's scraped state in the fleet table.
 type row struct {
-	endpoint string
-	report   health.Report
-	series   int     // lease_* series on /metrics
-	msgs     float64 // lease_net_msgs_total summed over directions, if exported
-	err      error
+	endpoint  string
+	report    health.Report
+	series    int     // lease_* series on /metrics
+	msgs      float64 // lease_net_msgs_total summed over directions, if exported
+	hasCost   bool    // node exports lease_cost_* (cost accounting enabled)
+	msgsRate  float64 // wire messages/s over the rate window, both directions
+	bytesRate float64 // wire bytes/s over the rate window, both directions
+	err       error
 }
 
 // fleet scrapes every endpoint concurrently and renders the table.
-func fleet(out, errw io.Writer, cl *http.Client, eps []string) int {
+func fleet(out, errw io.Writer, cl *http.Client, eps []string, rateWin time.Duration) int {
 	rows := make([]row, len(eps))
 	done := make(chan int, len(eps))
 	for i, ep := range eps {
 		go func(i int, ep string) {
-			rows[i] = scrape(cl, ep)
+			rows[i] = scrape(cl, ep, rateWin)
 			done <- i
 		}(i, ep)
 	}
@@ -99,11 +108,11 @@ func fleet(out, errw io.Writer, cl *http.Client, eps []string) int {
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ENDPOINT\tNODE\tSTATUS\tFIRING\tTRIGGERS\tDUMPS\tBURN\tSERIES")
+	fmt.Fprintln(tw, "ENDPOINT\tNODE\tSTATUS\tFIRING\tTRIGGERS\tDUMPS\tBURN\tSERIES\tMSGS/S\tBYTES/S")
 	exit := 0
 	for _, r := range rows {
 		if r.err != nil {
-			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\n", r.endpoint)
+			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\t-\t-\n", r.endpoint)
 			fmt.Fprintf(errw, "leasemon: %s: %v\n", r.endpoint, r.err)
 			exit = 1
 			continue
@@ -124,15 +133,24 @@ func fleet(out, errw io.Writer, cl *http.Client, eps []string) int {
 				exit = 2
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%.2f\t%d\n",
-			r.endpoint, rep.Node, rep.Status, firingCol, triggers, rep.DumpsWritten, rep.StalenessBurn, r.series)
+		msgsCol, bytesCol := "-", "-"
+		if r.hasCost {
+			msgsCol = fmt.Sprintf("%.1f", r.msgsRate)
+			bytesCol = fmt.Sprintf("%.0f", r.bytesRate)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%.2f\t%d\t%s\t%s\n",
+			r.endpoint, rep.Node, rep.Status, firingCol, triggers, rep.DumpsWritten,
+			rep.StalenessBurn, r.series, msgsCol, bytesCol)
 	}
 	tw.Flush()
 	return exit
 }
 
 // scrape pulls one endpoint's /debug/health report and /metrics exposition.
-func scrape(cl *http.Client, ep string) row {
+// When the node exports lease_cost_* series and rateWin > 0 it samples
+// /metrics a second time after the window and derives message and byte
+// rates from the counter deltas.
+func scrape(cl *http.Client, ep string, rateWin time.Duration) row {
 	r := row{endpoint: ep}
 	body, err := get(cl, ep, "/debug/health")
 	if err != nil {
@@ -157,7 +175,46 @@ func scrape(cl *http.Client, ep string) row {
 			r.msgs += v
 		}
 	}
+	msgs0, haveMsgs := sumPrefix(series, "lease_cost_messages_total")
+	bytes0, haveBytes := sumPrefix(series, "lease_cost_bytes_total")
+	if !haveMsgs && !haveBytes {
+		return r // cost accounting disabled on this node
+	}
+	r.hasCost = true
+	if rateWin <= 0 {
+		return r
+	}
+	start := time.Now()
+	time.Sleep(rateWin)
+	body, err = get(cl, ep, "/metrics")
+	if err != nil {
+		// The node answered once and then went away; keep the health row
+		// but drop the rate columns rather than failing the endpoint.
+		r.hasCost = false
+		return r
+	}
+	elapsed := time.Since(start).Seconds()
+	again := parseProm(body)
+	msgs1, _ := sumPrefix(again, "lease_cost_messages_total")
+	bytes1, _ := sumPrefix(again, "lease_cost_bytes_total")
+	// A counter that shrank means the node restarted between samples.
+	r.msgsRate = max(0, msgs1-msgs0) / elapsed
+	r.bytesRate = max(0, bytes1-bytes0) / elapsed
 	return r
+}
+
+// sumPrefix sums every series whose name starts with prefix and reports
+// whether any matched.
+func sumPrefix(series map[string]float64, prefix string) (float64, bool) {
+	var sum float64
+	found := false
+	for name, v := range series {
+		if strings.HasPrefix(name, prefix) {
+			sum += v
+			found = true
+		}
+	}
+	return sum, found
 }
 
 // parseProm reads Prometheus text exposition into full-series-name → value.

@@ -2,7 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -80,11 +86,63 @@ func TestFleetTableFromTwoLiveEndpoints(t *testing.T) {
 		}
 	}
 	fields := strings.Fields(alphaLine)
-	if len(fields) != 8 || fields[len(fields)-1] == "0" {
+	if len(fields) != 10 || fields[7] == "0" {
 		t.Errorf("alpha row did not report scraped lease_ series: %q", alphaLine)
+	}
+	// Health-only nodes export no lease_cost_* series: the rate columns
+	// degrade to "-" instead of zeroes.
+	if len(fields) == 10 && (fields[8] != "-" || fields[9] != "-") {
+		t.Errorf("alpha row invented cost rates without lease_cost_* series: %q", alphaLine)
 	}
 	if !strings.Contains(alphaLine, "0.50") {
 		t.Errorf("alpha row missing staleness burn 0.50: %q", alphaLine)
+	}
+}
+
+// costNode serves a minimal debug endpoint whose lease_cost_* counters
+// advance on every /metrics scrape, so the second rate sample always sees
+// a positive delta.
+func costNode(t *testing.T, name string) string {
+	t.Helper()
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(health.Report{Node: name, Status: "ok"})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		n := calls.Add(1)
+		fmt.Fprintf(w, "lease_cost_messages_total{node=%q,dir=\"sent\"} %d\n", name, n*50)
+		fmt.Fprintf(w, "lease_cost_messages_total{node=%q,dir=\"recv\"} %d\n", name, n*50)
+		fmt.Fprintf(w, "lease_cost_bytes_total{node=%q,dir=\"sent\"} %d\n", name, n*4096)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestFleetRateColumnsFromCostCounters(t *testing.T) {
+	ep := costNode(t, "epsilon")
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-rate-window", "50ms", ep}); code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, &out, &errw)
+	}
+	var line string
+	for _, l := range strings.Split(out.String(), "\n") {
+		if strings.Contains(l, "epsilon") {
+			line = l
+		}
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 10 {
+		t.Fatalf("epsilon row has %d columns, want 10: %q", len(fields), line)
+	}
+	msgs, err := strconv.ParseFloat(fields[8], 64)
+	if err != nil || msgs <= 0 {
+		t.Errorf("MSGS/S = %q, want a positive rate (err %v)", fields[8], err)
+	}
+	bytesRate, err := strconv.ParseFloat(fields[9], 64)
+	if err != nil || bytesRate <= 0 {
+		t.Errorf("BYTES/S = %q, want a positive rate (err %v)", fields[9], err)
 	}
 }
 

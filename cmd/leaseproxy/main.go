@@ -19,7 +19,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/health"
 	"repro/internal/loadtl"
 	"repro/internal/obs"
@@ -54,6 +56,10 @@ func run() error {
 	flight := flag.Int("flight", 8192, "protocol events retained by the flight recorder (0 = flight recorder off)")
 	flightWin := flag.Duration("flight-window", time.Minute, "trailing window a flight dump covers")
 	flightDir := flag.String("flight-dir", "flight-dumps", "directory for flight recorder dump files ($FLIGHT_DUMP_DIR overrides)")
+	costOn := flag.Bool("cost", true, "account per-kind wire-path cost (lease_cost_* metrics and /debug/cost)")
+	profEvery := flag.Duration("profile-interval", 0, "capture heap/goroutine profiles into the profile ring this often (0 = off)")
+	profRing := flag.Int("profile-ring", 24, "profile captures retained for /debug/profile/ring")
+	profCPU := flag.Duration("profile-cpu-window", 0, "also capture a CPU profile of this length each cycle (0 = off)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -97,7 +103,27 @@ func run() error {
 		observer.Spans = spanRec
 		flightRec.AttachSpans(spanRec)
 	}
-	netw := transport.ObserveNetwork(transport.TCP{}, obs.WireObserver(observer, *id, time.Now))
+	var acct *cost.Accounting
+	if *costOn {
+		acct = cost.New(*id, time.Now)
+		acct.Register(reg)
+	}
+	var prof *cost.Profiler
+	if *profEvery > 0 {
+		prof = cost.NewProfiler(cost.ProfilerOptions{
+			Node:      *id,
+			Clock:     clock.Real{},
+			Interval:  *profEvery,
+			Ring:      *profRing,
+			CPUWindow: *profCPU,
+			Logf:      log.Printf,
+		})
+		flightRec.AttachProfiles(prof)
+	}
+	// Cost accounting wraps the raw network INNERMOST (frame-level timing on
+	// TCP conns); the wire observer counts messages from the outside. Both
+	// directions are charged here: upstream renewals and downstream grants.
+	netw := transport.ObserveNetwork(acct.Network(transport.TCP{}), obs.WireObserver(observer, *id, time.Now))
 
 	cfg := proxy.Config{
 		ID:             core.ClientID(*id),
@@ -121,6 +147,8 @@ func run() error {
 	defer px.Close()
 	engine.Start()
 	defer engine.Close()
+	prof.Start()
+	defer prof.Close()
 	log.Printf("leaseproxy: serving volume %q on %s (upstream %s, sub-leases t=%v tv=%v)",
 		*volume, px.Addr(), *upstream, *objLease, *volLease)
 
@@ -136,6 +164,12 @@ func run() error {
 			routes = append(routes,
 				obs.Route{Path: "/debug/health", Handler: health.Handler(engine)},
 				obs.Route{Path: "/debug/flightrecorder", Handler: health.FlightHandler(engine)})
+		}
+		if acct != nil {
+			routes = append(routes, obs.Route{Path: "/debug/cost", Handler: cost.Handler(acct)})
+		}
+		if prof != nil {
+			routes = append(routes, obs.Route{Path: "/debug/profile/ring", Handler: cost.RingHandler(prof)})
 		}
 		dbg, err := obs.Serve(*debugAddr, reg, ring, routes...)
 		if err != nil {

@@ -1,0 +1,115 @@
+package cost
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// nsBuckets is the number of power-of-two histogram buckets: bucket i holds
+// durations with bit length i (i.e. [2^(i-1), 2^i) ns, bucket 0 holds 0ns).
+// 2^39 ns ≈ 9 minutes, far beyond any codec operation; the last bucket
+// absorbs the tail.
+const nsBuckets = 40
+
+// nsHist is a lock-free nanosecond histogram for the per-frame hot path:
+// one observation is three atomic adds and a CAS loop for the max — no
+// mutex, no allocation. metrics.LatencyHistogram is mutex-guarded and
+// fine-grained (~8% buckets) for request latencies; the codec path instead
+// takes coarse power-of-two buckets in exchange for zero contention.
+type nsHist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [nsBuckets]atomic.Int64
+}
+
+func (h *nsHist) observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	idx := bits.Len64(uint64(ns))
+	if idx >= nsBuckets {
+		idx = nsBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// quantile returns an upper bound for the q-th quantile (q in [0,1]): the
+// top of the bucket where the cumulative count crosses q. Resolution is one
+// power of two — good enough to tell a 100ns encode from a 10µs one, which
+// is what the cost series are for.
+func (h *nsHist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	// Rank of the q-th quantile observation, 1-based: ceil(q·n), clamped to
+	// [1, n] — p99 of 100 samples is the 99th smallest.
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := 0; i < nsBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << uint(i) // top of [2^(i-1), 2^i)
+		}
+	}
+	return h.max.Load()
+}
+
+// HistSummary is the JSON form of a histogram for /debug/cost.
+type HistSummary struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns,omitempty"`
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	MaxNs  int64 `json:"max_ns,omitempty"`
+}
+
+// summary snapshots the histogram; returns a zero-count summary when empty.
+func (h *nsHist) summary() HistSummary {
+	n := h.count.Load()
+	if n == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count:  n,
+		MeanNs: h.sum.Load() / n,
+		P50Ns:  h.quantile(0.50),
+		P99Ns:  h.quantile(0.99),
+		MaxNs:  h.max.Load(),
+	}
+}
+
+// merge adds o's buckets and counters into h (used for the cross-kind
+// aggregate series). Not atomic across fields; callers tolerate snapshot
+// skew of in-flight observations.
+func (h *nsHist) merge(o *nsHist) {
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if m := o.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
+	}
+	for i := 0; i < nsBuckets; i++ {
+		h.buckets[i].Add(o.buckets[i].Load())
+	}
+}

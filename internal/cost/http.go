@@ -1,0 +1,135 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Handler serves the accounting dump at /debug/cost as indented JSON.
+// Query filters: ?kind=ObjLease (repeatable, case-insensitive) keeps only
+// those kinds; ?volume=vol-1 (repeatable) keeps only those volumes and
+// drops the connection table (it cannot be attributed per volume). Totals
+// always cover all traffic. Safe with a nil *Accounting (serves the zero
+// dump).
+func Handler(a *Accounting) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := a.Snapshot()
+		q := r.URL.Query()
+		if kinds := q["kind"]; len(kinds) > 0 {
+			want := make(map[string]bool, len(kinds))
+			for _, k := range kinds {
+				name, ok := kindByName(k)
+				if !ok {
+					http.Error(w, fmt.Sprintf("unknown kind %q", k), http.StatusBadRequest)
+					return
+				}
+				want[name] = true
+			}
+			kept := d.Kinds[:0]
+			for _, ks := range d.Kinds {
+				if want[ks.Kind] {
+					kept = append(kept, ks)
+				}
+			}
+			d.Kinds = kept
+		}
+		if vols := q["volume"]; len(vols) > 0 {
+			want := make(map[string]bool, len(vols))
+			for _, v := range vols {
+				want[v] = true
+			}
+			kept := d.Volumes[:0]
+			for _, vs := range d.Volumes {
+				if want[vs.Volume] {
+					kept = append(kept, vs)
+				}
+			}
+			d.Volumes = kept
+			d.Conns = nil
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d)
+	}
+}
+
+// kindByName resolves a case-insensitive kind name to its canonical form.
+func kindByName(s string) (string, bool) {
+	for k := 1; k < wire.NumKinds; k++ {
+		name := wire.Kind(k).String()
+		if strings.EqualFold(name, s) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// captureInfo is the /debug/profile/ring list entry: capture metadata with
+// the payload replaced by its size (fetch the bytes with ?id=).
+type captureInfo struct {
+	ID              int64     `json:"id"`
+	Kind            string    `json:"kind"`
+	At              time.Time `json:"at"`
+	Bytes           int       `json:"bytes"`
+	HeapAllocBytes  uint64    `json:"heap_alloc_bytes,omitempty"`
+	HeapObjects     uint64    `json:"heap_objects,omitempty"`
+	DeltaAllocBytes int64     `json:"delta_alloc_bytes,omitempty"`
+	DeltaMallocs    int64     `json:"delta_mallocs,omitempty"`
+	Goroutines      int       `json:"goroutines,omitempty"`
+}
+
+// RingHandler serves the profile ring at /debug/profile/ring:
+//
+//	GET  ?            → JSON list of retained captures (metadata only)
+//	GET  ?id=N        → that capture's raw pprof payload
+//	POST ?capture     → run a capture cycle now, then list
+//
+// Safe with a nil *Profiler (serves an empty list).
+func RingHandler(p *Profiler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Has("capture") {
+			if r.Method != http.MethodPost {
+				http.Error(w, "capture requires POST", http.StatusMethodNotAllowed)
+				return
+			}
+			p.CaptureNow()
+		}
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseInt(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad id", http.StatusBadRequest)
+				return
+			}
+			c, ok := p.Capture(id)
+			if !ok {
+				http.Error(w, "capture not retained", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition",
+				fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-%d.pprof", c.Kind, c.ID)))
+			w.Write(c.Data)
+			return
+		}
+		list := make([]captureInfo, 0, 8)
+		for _, c := range p.SnapshotProfiles() {
+			list = append(list, captureInfo{
+				ID: c.ID, Kind: c.Kind, At: c.At, Bytes: len(c.Data),
+				HeapAllocBytes: c.HeapAllocBytes, HeapObjects: c.HeapObjects,
+				DeltaAllocBytes: c.DeltaAllocBytes, DeltaMallocs: c.DeltaMallocs,
+				Goroutines: c.Goroutines,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(list)
+	}
+}

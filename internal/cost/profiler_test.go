@@ -1,0 +1,214 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/health"
+)
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	p.Start()
+	p.CaptureNow()
+	if got := p.SnapshotProfiles(); got != nil {
+		t.Errorf("nil SnapshotProfiles = %v", got)
+	}
+	if _, ok := p.Capture(1); ok {
+		t.Error("nil Capture found something")
+	}
+	p.Close()
+}
+
+func TestProfilerCaptureCycle(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(1000, 0))
+	p := NewProfiler(ProfilerOptions{Node: "srv", Clock: clk, Ring: 16, Logf: t.Logf})
+	p.CaptureNow()
+	p.CaptureNow()
+
+	caps := p.SnapshotProfiles()
+	if len(caps) != 4 {
+		t.Fatalf("got %d captures, want 4 (2 cycles × heap+goroutine)", len(caps))
+	}
+	var heaps, gors []health.ProfileCapture
+	for _, c := range caps {
+		switch c.Kind {
+		case "heap":
+			heaps = append(heaps, c)
+		case "goroutine":
+			gors = append(gors, c)
+		default:
+			t.Errorf("unexpected capture kind %q", c.Kind)
+		}
+	}
+	if len(heaps) != 2 || len(gors) != 2 {
+		t.Fatalf("heap=%d goroutine=%d captures", len(heaps), len(gors))
+	}
+	for _, h := range heaps {
+		if len(h.Data) == 0 {
+			t.Error("heap capture has no pprof payload")
+		}
+		if h.HeapAllocBytes == 0 || h.HeapObjects == 0 {
+			t.Errorf("heap capture missing memstats: %+v", h)
+		}
+	}
+	// Delta-heap: the first capture has no baseline, the second does.
+	if heaps[0].DeltaMallocs != 0 {
+		t.Errorf("first heap capture has delta %d, want 0 (no baseline)", heaps[0].DeltaMallocs)
+	}
+	if heaps[1].DeltaMallocs <= 0 {
+		t.Errorf("second heap capture delta mallocs = %d, want > 0", heaps[1].DeltaMallocs)
+	}
+	for _, g := range gors {
+		if g.Goroutines <= 0 || len(g.Data) == 0 {
+			t.Errorf("goroutine capture incomplete: goroutines=%d bytes=%d", g.Goroutines, len(g.Data))
+		}
+	}
+	// IDs increase monotonically, oldest first.
+	for i := 1; i < len(caps); i++ {
+		if caps[i].ID <= caps[i-1].ID {
+			t.Errorf("capture IDs out of order: %d then %d", caps[i-1].ID, caps[i].ID)
+		}
+	}
+}
+
+func TestProfilerRingBounded(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Clock: clock.NewSimulated(time.Unix(1000, 0)), Ring: 4})
+	for i := 0; i < 5; i++ {
+		p.CaptureNow() // 2 captures per cycle
+	}
+	caps := p.SnapshotProfiles()
+	if len(caps) != 4 {
+		t.Fatalf("ring holds %d captures, want 4", len(caps))
+	}
+	// Oldest entries were evicted: the newest 4 of 10 remain.
+	if caps[0].ID != 7 || caps[3].ID != 10 {
+		t.Errorf("ring retained IDs %d..%d, want 7..10", caps[0].ID, caps[3].ID)
+	}
+}
+
+func TestProfilerSamplerLoop(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Clock: clock.Real{}, Interval: 10 * time.Millisecond, Ring: 64})
+	p.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(p.SnapshotProfiles()) >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	if got := len(p.SnapshotProfiles()); got < 2 {
+		t.Fatalf("sampler captured %d profiles in 5s at 10ms interval", got)
+	}
+	// Close is idempotent and close-before-start is safe.
+	p.Close()
+	q := NewProfiler(ProfilerOptions{Clock: clock.Real{}})
+	q.Close()
+	q.Start() // must not launch after Close claimed the once
+	q.Close()
+}
+
+func TestProfilerCPUCapture(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Clock: clock.Real{}, CPUWindow: 20 * time.Millisecond, Ring: 8, Logf: t.Logf})
+	p.CaptureNow()
+	var cpu *health.ProfileCapture
+	for _, c := range p.SnapshotProfiles() {
+		if c.Kind == "cpu" {
+			cpu = &c
+			break
+		}
+	}
+	if cpu == nil {
+		t.Skip("cpu capture unavailable (another profile active?)")
+	}
+	if len(cpu.Data) == 0 {
+		t.Error("cpu capture has empty payload")
+	}
+}
+
+func TestFlightDumpCarriesProfiles(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Node: "srv", Clock: clock.NewSimulated(time.Unix(1000, 0)), Ring: 8})
+	p.CaptureNow()
+
+	f := health.NewFlightRecorder("srv", 16, time.Minute)
+	f.AttachProfiles(p)
+	d := f.Snapshot(time.Unix(2000, 0), nil)
+	if len(d.Profiles) != 2 {
+		t.Fatalf("dump carries %d profiles, want 2", len(d.Profiles))
+	}
+	// The dump round-trips through JSON with payloads intact.
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back health.Dump
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Profiles) != 2 || string(back.Profiles[0].Data) != string(d.Profiles[0].Data) {
+		t.Error("profiles corrupted by JSON round trip")
+	}
+}
+
+func TestRingHandler(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Node: "srv", Clock: clock.NewSimulated(time.Unix(1000, 0)), Ring: 8})
+	h := RingHandler(p)
+
+	// POST ?capture populates the ring.
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("POST", "/debug/profile/ring?capture", nil))
+	if rec.Code != 200 {
+		t.Fatalf("capture: status %d", rec.Code)
+	}
+	var list []captureInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list has %d captures, want 2", len(list))
+	}
+	if list[0].Bytes == 0 {
+		t.Error("list entry reports zero payload bytes")
+	}
+
+	// GET ?capture is rejected (state-changing).
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/debug/profile/ring?capture", nil))
+	if rec.Code != 405 {
+		t.Errorf("GET ?capture: status %d, want 405", rec.Code)
+	}
+
+	// Fetch one payload.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", fmt.Sprintf("/debug/profile/ring?id=%d", list[0].ID), nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Errorf("fetch: status %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("fetch content type %q", ct)
+	}
+
+	// Missing and malformed ids.
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/debug/profile/ring?id=99999", nil))
+	if rec.Code != 404 {
+		t.Errorf("missing id: status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/debug/profile/ring?id=abc", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad id: status %d, want 400", rec.Code)
+	}
+
+	// Nil profiler serves an empty list.
+	rec = httptest.NewRecorder()
+	RingHandler(nil)(rec, httptest.NewRequest("GET", "/debug/profile/ring", nil))
+	if rec.Code != 200 || rec.Body.String() == "" {
+		t.Errorf("nil profiler: status %d body %q", rec.Code, rec.Body.String())
+	}
+}

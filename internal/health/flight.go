@@ -82,9 +82,10 @@ type FlightRecorder struct {
 	next   atomic.Uint64
 	total  atomic.Uint64
 
-	// Attached sources, set before traffic starts; both optional.
-	spans *obs.SpanRecorder
-	tl    *loadtl.Timeline
+	// Attached sources, set before traffic starts; all optional.
+	spans    *obs.SpanRecorder
+	tl       *loadtl.Timeline
+	profiles ProfileSource
 
 	// Per-second metric samples, written by the engine tick (1/s), read at
 	// freeze time: low rate, so a mutex-guarded ring is fine.
@@ -130,6 +131,41 @@ func (f *FlightRecorder) AttachTimeline(tl *loadtl.Timeline) {
 		return
 	}
 	f.tl = tl
+}
+
+// ProfileSource supplies retained runtime profiles at freeze time — the
+// cost package's profile ring implements it. SnapshotProfiles must be safe
+// to call from any goroutine.
+type ProfileSource interface {
+	SnapshotProfiles() []ProfileCapture
+}
+
+// ProfileCapture is one retained runtime profile in dump form. Data is the
+// raw pprof payload (gzipped protobuf, as written by runtime/pprof with
+// debug=0), base64-encoded in JSON; the surrounding fields summarize it so
+// leasemon and humans can triage without go tool pprof.
+type ProfileCapture struct {
+	ID   int64     `json:"id"`
+	Kind string    `json:"kind"` // "heap", "goroutine", "cpu"
+	At   time.Time `json:"at"`
+	// Heap state at capture time and deltas since the previous capture of
+	// the same kind (heap profiles only).
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes,omitempty"`
+	HeapObjects     uint64 `json:"heap_objects,omitempty"`
+	DeltaAllocBytes int64  `json:"delta_alloc_bytes,omitempty"`
+	DeltaMallocs    int64  `json:"delta_mallocs,omitempty"`
+	Goroutines      int    `json:"goroutines,omitempty"`
+	Data            []byte `json:"data,omitempty"`
+}
+
+// AttachProfiles arranges for freezes to include the retained profile ring,
+// so a triggered anomaly ships the CPU/heap/goroutine profiles that explain
+// it. Call before traffic starts.
+func (f *FlightRecorder) AttachProfiles(src ProfileSource) {
+	if f == nil {
+		return
+	}
+	f.profiles = src
 }
 
 // Window reports the retention target.
@@ -233,6 +269,9 @@ func (f *FlightRecorder) Snapshot(now time.Time, tr *Trigger) Dump {
 	d.Samples = append(d.Samples, f.samples...)
 	f.mu.Unlock()
 	sort.Slice(d.Samples, func(i, j int) bool { return d.Samples[i].Unix < d.Samples[j].Unix })
+	if f.profiles != nil {
+		d.Profiles = f.profiles.SnapshotProfiles()
+	}
 	return d
 }
 
@@ -245,9 +284,10 @@ type Dump struct {
 	WindowSeconds int             `json:"window_seconds"`
 	Trigger       *Trigger        `json:"trigger,omitempty"`
 	Events        []DumpEvent     `json:"events"`
-	Spans         []DumpSpan      `json:"spans,omitempty"`
-	Seconds       []loadtl.Second `json:"seconds,omitempty"`
-	Samples       []MetricSample  `json:"samples,omitempty"`
+	Spans         []DumpSpan       `json:"spans,omitempty"`
+	Seconds       []loadtl.Second  `json:"seconds,omitempty"`
+	Samples       []MetricSample   `json:"samples,omitempty"`
+	Profiles      []ProfileCapture `json:"profiles,omitempty"`
 }
 
 // DumpEvent is one protocol event in dump form (string-typed, zero fields

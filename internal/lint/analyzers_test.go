@@ -67,6 +67,7 @@ func TestScoped(t *testing.T) {
 		{"clockcheck", "repro/internal/transport", false}, // raw sockets live on real time
 		{"clockcheck", "repro/cmd/leased", false},         // daemons stamp process lifetimes
 		{"clockcheck", "repro/internal/health", true},     // flight timestamps must replay under sim clocks
+		{"clockcheck", "repro/internal/cost", true},       // the profiler samples on the injected clock
 		{"lockorder", "repro/internal/server", true},
 		{"lockorder", "repro/internal/proxy", true},
 		{"lockorder", "repro/internal/client", false},
@@ -78,6 +79,7 @@ func TestScoped(t *testing.T) {
 		{"ctxclean", "repro/internal/server", true},
 		{"ctxclean", "repro/internal/sim", false},   // simulation steps synchronously
 		{"ctxclean", "repro/internal/health", true}, // the engine's tick goroutine must stop cleanly
+		{"ctxclean", "repro/internal/cost", true},   // the profiler loop must drain on Close
 		{"nosuch", "repro/internal/server", false},
 	}
 	for _, c := range cases {

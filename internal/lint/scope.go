@@ -37,7 +37,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	}
 	switch analyzer {
 	case "clockcheck":
-		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health")
+		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health", "cost")
 	case "lockorder":
 		return in("server", "proxy")
 	case "wiresym":
@@ -45,7 +45,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	case "metricreg":
 		return true
 	case "ctxclean":
-		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health")
+		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost")
 	default:
 		return false
 	}

@@ -126,7 +126,24 @@ func (t *tcpConn) Send(m wire.Message) error {
 }
 
 func (t *tcpConn) Recv() (wire.Message, error) { return wire.ReadFrame(t.br) }
-func (t *tcpConn) Close() error                { return t.c.Close() }
+
+// SendFrame writes a pre-encoded frame body (see FrameSender). Encoding
+// outside the send mutex shortens the critical section; only the framed
+// write is serialized.
+func (t *tcpConn) SendFrame(body []byte) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := wire.WriteFrameBytes(t.bw, body); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+// RecvFrame returns the next raw frame body without decoding it (see
+// FrameReceiver).
+func (t *tcpConn) RecvFrame() ([]byte, error) { return wire.ReadFrameBytes(t.br) }
+
+func (t *tcpConn) Close() error { return t.c.Close() }
 func (t *tcpConn) LocalAddr() string           { return t.c.LocalAddr().String() }
 func (t *tcpConn) RemoteAddr() string          { return t.c.RemoteAddr().String() }
 

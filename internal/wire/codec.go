@@ -193,6 +193,16 @@ func WriteFrame(w io.Writer, m Message) error {
 	if err != nil {
 		return err
 	}
+	return WriteFrameBytes(w, body)
+}
+
+// WriteFrameBytes writes an already-encoded frame body with its 4-byte
+// big-endian length prefix. Callers that need to time or account the encode
+// step separately (the cost layer) encode first and hand the bytes here.
+func WriteFrameBytes(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -206,6 +216,16 @@ func WriteFrame(w io.Writer, m Message) error {
 
 // ReadFrame reads one length-prefixed message from r.
 func ReadFrame(r io.Reader) (Message, error) {
+	body, err := ReadFrameBytes(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(body)
+}
+
+// ReadFrameBytes reads one length-prefixed frame body from r without
+// decoding it, so callers can separate blocking-read time from decode time.
+func ReadFrameBytes(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown detection
@@ -218,7 +238,7 @@ func ReadFrame(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
-	return Decode(body)
+	return body, nil
 }
 
 // --- primitive encoder/decoder ---
