@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled bench-diff flightdump figures fuzz examples loadtest clean
+.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled bench-diff bench-wirepath flightdump figures fuzz examples loadtest clean
 
 all: check
 
@@ -56,7 +56,7 @@ bench:
 # BenchmarkConcurrentWrites, whose writes/s metric across 1/4/16 volumes is
 # the sharded write path's scaling curve. Parameterized so CI can run a
 # short preset: `make bench-json BENCH_PKGS=./internal/obs BENCH_FLAGS=...`.
-BENCH_OUT   ?= BENCH_PR7.json
+BENCH_OUT   ?= BENCH_PR8.json
 BENCH_PKGS  ?= ./...
 BENCH_FLAGS ?= -bench=. -benchmem
 bench-json:
@@ -68,10 +68,25 @@ bench-json:
 # The root-package simulator benchmarks allocate millions of objects per op
 # and their allocs/op average jitters by ~0.001% with the iteration count,
 # so they get a hair of alloc slack; hot-path benchmarks stay exact (+0%).
-BENCH_BASE ?= BENCH_PR4.json
-BENCH_CAND ?= BENCH_PR7.json
+# The transport send benchmarks measure delivered throughput across a real
+# loopback socket pair, so their ns/op carries scheduler and kernel noise —
+# they get wide ns slack and rely on the exact alloc gate (and the
+# bench-wirepath zero-alloc check) instead.
+BENCH_BASE ?= BENCH_PR7.json
+BENCH_CAND ?= BENCH_PR8.json
 bench-diff:
-	$(GO) run ./cmd/benchdiff -rule 'repro Benchmark=alloc:0.01' $(BENCH_BASE) $(BENCH_CAND)
+	$(GO) run ./cmd/benchdiff \
+		-rule 'repro Benchmark=alloc:0.01' \
+		-rule 'transport Benchmark=ns:75' \
+		$(BENCH_BASE) $(BENCH_CAND)
+
+# Gate: the batched wire path must stay allocation-free end to end — the
+# pooled append-encoders (BenchmarkWirePath/append) and the full
+# send-to-delivery loop for grant/renew/invalidate (BenchmarkBatchedSend)
+# all report 0 B/op, 0 allocs/op.
+bench-wirepath:
+	$(GO) test -run '^$$' -bench 'BenchmarkWirePath/append|BenchmarkBatchedSend/' -benchmem -benchtime=0.2s ./internal/wire ./internal/transport | tee /dev/stderr | \
+		awk '/Benchmark(WirePath\/append|BatchedSend)/ && ($$(NF-1) != 0 || $$(NF-3) != 0) { bad = 1 } END { exit bad }'
 
 # Gate: the instrumented hot paths must stay allocation-free when tracing
 # is disabled (BenchmarkEmitDisabled / BenchmarkSpanDisabled /

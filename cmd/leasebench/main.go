@@ -42,22 +42,25 @@ func main() {
 
 // options collects the benchmark parameters.
 type options struct {
-	addr       string
-	volume     string
-	clients    int
-	objects    int
-	duration   time.Duration
-	writeRatio float64
-	objLease   time.Duration
-	volLease   time.Duration
-	useTCP     bool
-	debugAddr  string
-	audit      bool
-	trace      bool
-	spanSample int
-	flightDir  string
-	cost       bool
-	costOut    string
+	addr        string
+	volume      string
+	clients     int
+	objects     int
+	duration    time.Duration
+	writeRatio  float64
+	objLease    time.Duration
+	volLease    time.Duration
+	useTCP      bool
+	tcpBatch    bool
+	dialTimeout time.Duration
+	wireBench   time.Duration
+	debugAddr   string
+	audit       bool
+	trace       bool
+	spanSample  int
+	flightDir   string
+	cost        bool
+	costOut     string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -72,6 +75,10 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.objLease, "object-lease", time.Minute, "object lease (self-contained mode)")
 	fs.DurationVar(&o.volLease, "volume-lease", 5*time.Second, "volume lease (self-contained mode)")
 	fs.BoolVar(&o.useTCP, "tcp", false, "self-contained mode: use loopback TCP instead of the in-memory transport")
+	fs.BoolVar(&o.tcpBatch, "tcp-batch", true, "with TCP: batch outbound frames per connection (one kernel flush per burst)")
+	fs.DurationVar(&o.dialTimeout, "dial-timeout", 10*time.Second, "TCP dial timeout")
+	fs.DurationVar(&o.wireBench, "wire-bench", 0,
+		"instead of the RPC workload, measure raw per-connection wire throughput on loopback TCP for this long per mode, batched vs flush-per-send")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof during the run (empty = off)")
 	fs.BoolVar(&o.audit, "audit", false, "self-contained mode: run the online consistency auditor and fail on any invariant violation")
 	fs.BoolVar(&o.trace, "trace", false, "record causal write-path spans and the per-second load timeline (summarized after the run; served at /debug/spans and /debug/load with -debug-addr)")
@@ -102,6 +109,9 @@ func run(out *os.File, args []string) error {
 	if err != nil {
 		return err
 	}
+	if o.wireBench > 0 {
+		return runWireBench(out, o.wireBench)
+	}
 	res, err := execute(o)
 	if err != nil {
 		return err
@@ -119,11 +129,12 @@ type result struct {
 	localReads            int64
 	serverReads           int64
 	invalidations         int64
-	aud                   *audit.Auditor    // nil unless -audit
-	spans                 *obs.SpanRecorder // nil unless -trace
-	load                  *loadtl.Timeline  // nil unless -trace
-	health                *health.Engine    // nil unless -audit
-	cost                  *cost.Accounting  // nil unless -cost
+	aud                   *audit.Auditor        // nil unless -audit
+	spans                 *obs.SpanRecorder     // nil unless -trace
+	load                  *loadtl.Timeline      // nil unless -trace
+	health                *health.Engine        // nil unless -audit
+	cost                  *cost.Accounting      // nil unless -cost
+	batch                 *transport.BatchStats // nil unless TCP
 }
 
 // execute runs the load.
@@ -221,11 +232,17 @@ func execute(o options) (*result, error) {
 		}
 	}
 
+	var batch *transport.BatchStats
+	tcp := func() transport.TCP {
+		batch = &transport.BatchStats{}
+		return transport.TCP{DialTimeout: o.dialTimeout, Immediate: !o.tcpBatch, Stats: batch}
+	}
+
 	var srv *server.Server
 	if addr == "" {
 		// Self-contained: build the server here.
 		if o.useTCP {
-			net = transport.TCP{}
+			net = tcp()
 			addr = "127.0.0.1:0"
 		} else {
 			mem := transport.NewMemory()
@@ -272,7 +289,7 @@ func execute(o options) (*result, error) {
 			}
 		}
 	} else {
-		net = acct.Network(transport.TCP{})
+		net = acct.Network(tcp())
 		if observer != nil {
 			net = transport.ObserveNetwork(net, obs.WireObserver(observer, "bench", time.Now))
 		}
@@ -353,6 +370,7 @@ func execute(o options) (*result, error) {
 	res.load = load
 	res.health = engine
 	res.cost = acct
+	res.batch = batch
 	return res, nil
 }
 
@@ -440,6 +458,12 @@ func (r *result) report(out *os.File, o options) error {
 				return err
 			}
 			fmt.Fprintf(out, "cost: dump written to %s\n", o.costOut)
+		}
+	}
+	if r.batch != nil {
+		if b := r.batch.Snapshot(); b.Flushes > 0 {
+			fmt.Fprintf(out, "batch: %d frames in %d kernel flushes (%.2f frames/flush, %d coalesced)\n",
+				b.Frames, b.Flushes, float64(b.Frames)/float64(b.Flushes), b.Coalesced)
 		}
 	}
 	if r.aud != nil {

@@ -62,32 +62,34 @@ func main() {
 // options collects everything run() parses from flags, so tests can start a
 // fully wired daemon in-process.
 type options struct {
-	addr       string
-	volume     string
-	nObjects   int
-	dir        string
-	objLease   time.Duration
-	volLease   time.Duration
-	mode       string
-	discard    time.Duration
-	msgTimeout time.Duration
-	bestEffort bool
-	stateDir   string
-	verbose    bool
-	debugAddr  string
-	traceLen   int
-	slowWrite  time.Duration
-	audit      bool
-	spans      int
-	spanSample int
-	loadWindow int
-	flight     int
-	flightWin  time.Duration
-	flightDir  string
-	cost       bool
-	profEvery  time.Duration
-	profRing   int
-	profCPU    time.Duration
+	addr        string
+	volume      string
+	nObjects    int
+	dir         string
+	objLease    time.Duration
+	volLease    time.Duration
+	mode        string
+	discard     time.Duration
+	msgTimeout  time.Duration
+	bestEffort  bool
+	stateDir    string
+	verbose     bool
+	debugAddr   string
+	traceLen    int
+	slowWrite   time.Duration
+	audit       bool
+	spans       int
+	spanSample  int
+	loadWindow  int
+	flight      int
+	flightWin   time.Duration
+	flightDir   string
+	cost        bool
+	profEvery   time.Duration
+	profRing    int
+	profCPU     time.Duration
+	tcpBatch    bool
+	dialTimeout time.Duration
 
 	// net overrides the transport (tests); nil means TCP.
 	net transport.Network
@@ -141,9 +143,15 @@ func start(opts options) (*instance, error) {
 		return nil, fmt.Errorf("unknown mode %q", opts.mode)
 	}
 
+	var batch *transport.BatchStats
 	netw := opts.net
 	if netw == nil {
-		netw = transport.TCP{}
+		batch = &transport.BatchStats{}
+		netw = transport.TCP{
+			DialTimeout: opts.dialTimeout,
+			Immediate:   !opts.tcpBatch,
+			Stats:       batch,
+		}
 	}
 
 	in := &instance{
@@ -260,6 +268,7 @@ func start(opts options) (*instance, error) {
 	// expose their frame-level capabilities (timed encode/decode); the wire
 	// observer counts messages from the outside.
 	netw = transport.ObserveNetwork(in.cost.Network(netw), obs.WireObserver(observer, opts.volume, time.Now))
+	obs.RegisterBatchStats(in.reg, opts.volume, batch)
 
 	cfg := server.Config{
 		Name:               opts.volume,
@@ -357,6 +366,8 @@ func run() error {
 	flag.DurationVar(&opts.profEvery, "profile-interval", 0, "capture heap/goroutine profiles into the profile ring this often (0 = off)")
 	flag.IntVar(&opts.profRing, "profile-ring", 24, "profile captures retained for /debug/profile/ring")
 	flag.DurationVar(&opts.profCPU, "profile-cpu-window", 0, "also capture a CPU profile of this length each cycle (0 = off)")
+	flag.BoolVar(&opts.tcpBatch, "tcp-batch", true, "batch outbound TCP frames per connection (one kernel flush per burst; exports lease_batch_*)")
+	flag.DurationVar(&opts.dialTimeout, "dial-timeout", 10*time.Second, "TCP dial timeout")
 	flag.Parse()
 
 	in, err := start(opts)

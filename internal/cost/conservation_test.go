@@ -27,6 +27,25 @@ import (
 )
 
 func TestAccountingConservation(t *testing.T) {
+	t.Run("memory", func(t *testing.T) {
+		runConservation(t, func() (transport.Network, string, *transport.BatchStats) {
+			return transport.NewMemory(), "srv:1", nil
+		})
+	})
+	// The same books must balance when every frame crosses the batched TCP
+	// path: coalescing frames into shared kernel flushes must not create,
+	// lose, or double-count a single frame or byte, and the batcher's own
+	// conservation (frames = flushes + coalesced) must agree with the cost
+	// layer's sent-frame total.
+	t.Run("tcp-batched", func(t *testing.T) {
+		stats := &transport.BatchStats{}
+		runConservation(t, func() (transport.Network, string, *transport.BatchStats) {
+			return transport.TCP{Stats: stats}, "127.0.0.1:0", stats
+		})
+	})
+}
+
+func runConservation(t *testing.T, newNet func() (transport.Network, string, *transport.BatchStats)) {
 	const (
 		nClients = 6
 		nOps     = 120
@@ -44,14 +63,14 @@ func TestAccountingConservation(t *testing.T) {
 	acct := cost.New("srv", time.Now)
 	acct.Register(reg)
 
-	// Cost accounting wraps the raw memory network innermost; the obs
-	// observer counts the same traffic from the outside.
-	mem := transport.NewMemory()
-	netw := transport.ObserveNetwork(acct.Network(mem), obs.WireObserver(observer, "srv", time.Now))
+	// Cost accounting wraps the raw network innermost; the obs observer
+	// counts the same traffic from the outside.
+	raw, listenAddr, batch := newNet()
+	netw := transport.ObserveNetwork(acct.Network(raw), obs.WireObserver(observer, "srv", time.Now))
 
 	srv, err := server.New(server.Config{
 		Name:       "srv",
-		Addr:       "srv:1",
+		Addr:       listenAddr,
 		Net:        netw,
 		Table:      core.Config{Mode: core.ModeEager, ObjectLease: 10 * time.Second, VolumeLease: 10 * time.Second},
 		MsgTimeout: 100 * time.Millisecond,
@@ -107,7 +126,7 @@ func TestAccountingConservation(t *testing.T) {
 	// server write would burn MsgTimeout on the unreachable holder.
 	clients := make([]*client.Client, nClients)
 	for i := range clients {
-		cl, err := client.Dial(netw, "srv:1", client.Config{
+		cl, err := client.Dial(netw, srv.Addr(), client.Config{
 			ID:      core.ClientID(fmt.Sprintf("client-%d", i)),
 			Skew:    10 * time.Millisecond,
 			Timeout: 30 * time.Second,
@@ -222,6 +241,27 @@ func TestAccountingConservation(t *testing.T) {
 	for _, k := range d.Kinds {
 		if k.BytesSent < k.FramesSent || k.BytesRecv < k.FramesRecv {
 			t.Errorf("%s: fewer bytes than frames: %+v", k.Kind, k)
+		}
+	}
+
+	// (6) On the batched TCP path the batcher's own accounting must agree
+	// with the cost layer: every frame the cost wrapper saw leave was
+	// drained in some flush (frames conserve across coalescing), and the
+	// size histogram covers every flush.
+	if batch != nil {
+		snap := batch.Snapshot()
+		if snap.Frames != d.Totals.MessagesSent {
+			t.Errorf("batcher drained %d frames, cost accounted %d sent", snap.Frames, d.Totals.MessagesSent)
+		}
+		if snap.Coalesced != snap.Frames-snap.Flushes {
+			t.Errorf("coalesced = %d, want frames-flushes = %d", snap.Coalesced, snap.Frames-snap.Flushes)
+		}
+		var bucketSum int64
+		for _, c := range snap.SizeCounts {
+			bucketSum += c
+		}
+		if bucketSum != snap.Flushes {
+			t.Errorf("size histogram sums to %d flushes, want %d", bucketSum, snap.Flushes)
 		}
 	}
 

@@ -63,11 +63,11 @@ func TestScoped(t *testing.T) {
 	}{
 		{"clockcheck", "repro/internal/server", true},
 		{"clockcheck", "repro/internal/core", true},
-		{"clockcheck", "repro/internal/clock", false},     // the one legitimate wall-clock layer
-		{"clockcheck", "repro/internal/transport", false}, // raw sockets live on real time
-		{"clockcheck", "repro/cmd/leased", false},         // daemons stamp process lifetimes
-		{"clockcheck", "repro/internal/health", true},     // flight timestamps must replay under sim clocks
-		{"clockcheck", "repro/internal/cost", true},       // the profiler samples on the injected clock
+		{"clockcheck", "repro/internal/clock", false},    // the one legitimate wall-clock layer
+		{"clockcheck", "repro/internal/transport", true}, // batcher code is checked; raw-socket sites use //lint:allow
+		{"clockcheck", "repro/cmd/leased", false},        // daemons stamp process lifetimes
+		{"clockcheck", "repro/internal/health", true},    // flight timestamps must replay under sim clocks
+		{"clockcheck", "repro/internal/cost", true},      // the profiler samples on the injected clock
 		{"lockorder", "repro/internal/server", true},
 		{"lockorder", "repro/internal/proxy", true},
 		{"lockorder", "repro/internal/client", false},
@@ -77,9 +77,10 @@ func TestScoped(t *testing.T) {
 		{"metricreg", "repro/cmd/leased", true},
 		{"metricreg", "other/module", false},
 		{"ctxclean", "repro/internal/server", true},
-		{"ctxclean", "repro/internal/sim", false},   // simulation steps synchronously
-		{"ctxclean", "repro/internal/health", true}, // the engine's tick goroutine must stop cleanly
-		{"ctxclean", "repro/internal/cost", true},   // the profiler loop must drain on Close
+		{"ctxclean", "repro/internal/sim", false},      // simulation steps synchronously
+		{"ctxclean", "repro/internal/health", true},    // the engine's tick goroutine must stop cleanly
+		{"ctxclean", "repro/internal/cost", true},      // the profiler loop must drain on Close
+		{"ctxclean", "repro/internal/transport", true}, // flusher/delivery goroutines must drain on Close
 		{"nosuch", "repro/internal/server", false},
 	}
 	for _, c := range cases {

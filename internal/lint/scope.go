@@ -7,8 +7,10 @@ import "strings"
 //
 //   - clockcheck: every package that does lease mathematics or event
 //     timestamping must use the injected clock.Clock so simulated and live
-//     timelines agree (internal/clock itself and the raw transport are the
-//     only legitimate wall-clock layers).
+//     timelines agree. internal/clock is the one wholesale-exempt layer;
+//     the transport is checked too since the batcher landed, with its few
+//     legitimate wall-clock sites (codec timing, socket deadlines, injected
+//     wire latency) annotated //lint:allow.
 //   - lockorder: the shard/table locking discipline lives in the server and
 //     the proxy (the two lease-granting roles).
 //   - wiresym: encode/decode symmetry is a property of internal/wire.
@@ -37,7 +39,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	}
 	switch analyzer {
 	case "clockcheck":
-		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health", "cost")
+		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health", "cost", "transport")
 	case "lockorder":
 		return in("server", "proxy")
 	case "wiresym":
@@ -45,7 +47,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	case "metricreg":
 		return true
 	case "ctxclean":
-		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost")
+		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost", "transport")
 	default:
 		return false
 	}

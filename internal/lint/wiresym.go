@@ -28,7 +28,13 @@ var WireSym = &Analyzer{
 func runWireSym(pass *Pass) {
 	structs := packageStructs(pass.Files)
 
-	encCases := codecCases(pass.Files, "Encode", false)
+	// The encode-side type switch lives in AppendEncode since the pooled
+	// wire path landed (Encode is a thin wrapper over it); older codec
+	// shapes keep the switch in Encode itself, so accept either.
+	encCases := codecCases(pass.Files, "AppendEncode", false)
+	if encCases == nil {
+		encCases = codecCases(pass.Files, "Encode", false)
+	}
 	decCases := codecCases(pass.Files, "Decode", true)
 	if encCases == nil || decCases == nil {
 		// Not the codec package (no Encode/Decode switch); nothing to check.

@@ -420,16 +420,14 @@ func (s *Server) sweepLoop() {
 	}
 }
 
-// record notes a protocol message for metrics.
+// record notes a protocol message for metrics. wire.Size mirrors Encode
+// byte for byte without serializing, so accounting stays off the send
+// path's allocation budget.
 func (s *Server) record(class metrics.MsgClass, m wire.Message) {
 	if s.cfg.Recorder == nil {
 		return
 	}
-	var n int64
-	if buf, err := wire.Encode(m); err == nil {
-		n = int64(len(buf))
-	}
-	s.cfg.Recorder.Message(s.cfg.Name, class, n, s.cfg.Clock.Now())
+	s.cfg.Recorder.Message(s.cfg.Name, class, int64(wire.Size(m)), s.cfg.Clock.Now())
 }
 
 // send transmits m on cc, recording it.

@@ -32,6 +32,19 @@ type FrameReceiver interface {
 	RecvFrame() ([]byte, error)
 }
 
+// FrameBufSender is the pooled form of FrameSender: the connection takes
+// ownership of the Buf and releases it once the bytes are written (or the
+// send fails), so a steady-state accounted send allocates nothing.
+type FrameBufSender interface {
+	SendFrameBuf(buf *wire.Buf) error
+}
+
+// FrameBufReceiver is the pooled form of FrameReceiver: the caller owns
+// the returned Buf and must Release it after decoding.
+type FrameBufReceiver interface {
+	RecvFrameBuf() (*wire.Buf, error)
+}
+
 // ConnAccounter mints one FrameAccountant per connection, keyed by the
 // connection's endpoints. Returning nil leaves that connection unaccounted.
 type ConnAccounter interface {
@@ -114,6 +127,8 @@ func accountConn(c Conn, a ConnAccounter) Conn {
 		return c
 	}
 	ac := &accountedConn{Conn: c, fa: fa}
+	ac.fbs, _ = c.(FrameBufSender)
+	ac.fbr, _ = c.(FrameBufReceiver)
 	ac.fs, _ = c.(FrameSender)
 	ac.fr, _ = c.(FrameReceiver)
 	return ac
@@ -121,15 +136,38 @@ func accountConn(c Conn, a ConnAccounter) Conn {
 
 type accountedConn struct {
 	Conn
-	fa FrameAccountant
-	fs FrameSender   // nil when the inner conn cannot split encode from write
-	fr FrameReceiver // nil when the inner conn cannot split read from decode
+	fa  FrameAccountant
+	fbs FrameBufSender   // preferred: pooled send, zero-alloc steady state
+	fbr FrameBufReceiver // preferred: pooled receive
+	fs  FrameSender      // fallback for conns without the pooled form
+	fr  FrameReceiver    // fallback for conns without the pooled form
 }
 
 func (c *accountedConn) Send(m wire.Message) error {
+	if c.fbs != nil {
+		buf := wire.GetBuf()
+		//lint:allow clockcheck — codec timing is real elapsed time by design
+		t0 := time.Now()
+		b, err := wire.AppendEncode(buf.B[:0], m)
+		//lint:allow clockcheck — codec timing is real elapsed time by design
+		encode := time.Since(t0)
+		if err != nil {
+			buf.Release()
+			return err
+		}
+		buf.B = b
+		size := len(b) // read before SendFrameBuf takes ownership
+		if err := c.fbs.SendFrameBuf(buf); err != nil {
+			return err
+		}
+		c.fa.Frame(true, m, size, encode)
+		return nil
+	}
 	if c.fs != nil {
+		//lint:allow clockcheck — codec timing is real elapsed time by design
 		t0 := time.Now()
 		body, err := wire.Encode(m)
+		//lint:allow clockcheck — codec timing is real elapsed time by design
 		encode := time.Since(t0)
 		if err != nil {
 			return err
@@ -150,13 +188,33 @@ func (c *accountedConn) Send(m wire.Message) error {
 }
 
 func (c *accountedConn) Recv() (wire.Message, error) {
+	if c.fbr != nil {
+		buf, err := c.fbr.RecvFrameBuf()
+		if err != nil {
+			return nil, err
+		}
+		//lint:allow clockcheck — codec timing is real elapsed time by design
+		t0 := time.Now()
+		m, err := wire.Decode(buf.B)
+		//lint:allow clockcheck — codec timing is real elapsed time by design
+		decode := time.Since(t0)
+		size := len(buf.B)
+		buf.Release()
+		if err != nil {
+			return nil, err
+		}
+		c.fa.Frame(false, m, size, decode)
+		return m, nil
+	}
 	if c.fr != nil {
 		body, err := c.fr.RecvFrame()
 		if err != nil {
 			return nil, err
 		}
+		//lint:allow clockcheck — codec timing is real elapsed time by design
 		t0 := time.Now()
 		m, err := wire.Decode(body)
+		//lint:allow clockcheck — codec timing is real elapsed time by design
 		decode := time.Since(t0)
 		if err != nil {
 			return nil, err

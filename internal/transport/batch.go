@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+// BatchSizeBuckets is the number of power-of-two histogram buckets in a
+// BatchSnapshot: batch sizes 1, 2, 4, ... 1024, and a final overflow
+// bucket.
+const BatchSizeBuckets = 12
+
+// BatchStats accumulates outbound-batcher accounting across the
+// connections of one TCP network: how many kernel flushes ran, how many
+// frames they carried, how many frames were coalesced (rode a flush they
+// didn't trigger), and a power-of-two batch-size histogram. All methods
+// are safe for concurrent use and nil-safe, so an unwired network pays a
+// single nil check per flush. The obs package exports a BatchStats as the
+// lease_batch_* metric series (see obs.RegisterBatchStats).
+type BatchStats struct {
+	flushes   atomic.Int64
+	frames    atomic.Int64
+	coalesced atomic.Int64
+	sizes     [BatchSizeBuckets]atomic.Int64
+}
+
+// record charges one flush that wrote n frames.
+func (s *BatchStats) record(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	s.flushes.Add(1)
+	s.frames.Add(int64(n))
+	s.coalesced.Add(int64(n - 1))
+	b := bits.Len(uint(n) - 1) // ceil(log2 n): n=1 → bucket 0, n=3..4 → bucket 2
+	if b >= BatchSizeBuckets {
+		b = BatchSizeBuckets - 1
+	}
+	s.sizes[b].Add(1)
+}
+
+// BatchSnapshot is a point-in-time copy of a BatchStats. SizeCounts[i]
+// counts flushes whose batch size fell in (2^(i-1), 2^i] — bucket 0 is
+// exactly size 1 — with the last bucket absorbing everything larger.
+type BatchSnapshot struct {
+	Flushes    int64
+	Frames     int64
+	Coalesced  int64
+	SizeCounts [BatchSizeBuckets]int64
+}
+
+// Snapshot returns a consistent-enough copy for metrics export: each
+// counter is read atomically, though not all at the same instant.
+func (s *BatchStats) Snapshot() BatchSnapshot {
+	var out BatchSnapshot
+	if s == nil {
+		return out
+	}
+	out.Flushes = s.flushes.Load()
+	out.Frames = s.frames.Load()
+	out.Coalesced = s.coalesced.Load()
+	for i := range s.sizes {
+		out.SizeCounts[i] = s.sizes[i].Load()
+	}
+	return out
+}
+
+// BatchSizeBucketLabel returns the histogram bucket's upper bound as a
+// metric label: "1", "2", "4", ... with "+Inf" for the overflow bucket.
+func BatchSizeBucketLabel(i int) string {
+	if i < 0 || i >= BatchSizeBuckets-1 {
+		return "+Inf"
+	}
+	return strconv.Itoa(1 << i)
+}

@@ -8,11 +8,13 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -67,30 +69,49 @@ type FromDialer interface {
 // --- TCP ---
 
 // TCP is the production Network backed by the operating system's TCP stack.
-type TCP struct{}
+// The zero value batches outbound frames per connection (see tcpConn) and
+// dials with a 10-second timeout.
+type TCP struct {
+	// DialTimeout bounds Dial; zero means 10 seconds.
+	DialTimeout time.Duration
+	// Immediate disables outbound batching: every Send encodes, writes, and
+	// flushes inline, one syscall per frame — the pre-batching behavior.
+	// Benchmarks use it to quantify the batching win; production leaves it
+	// false.
+	Immediate bool
+	// Stats, when non-nil, accumulates batch accounting (flushes, coalesced
+	// frames, batch-size histogram) across every connection this network
+	// creates or accepts.
+	Stats *BatchStats
+}
 
 var _ Network = TCP{}
 
 // Listen implements Network.
-func (TCP) Listen(addr string) (Listener, error) {
+func (n TCP) Listen(addr string) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, opts: n}, nil
 }
 
 // Dial implements Network.
-func (TCP) Dial(addr string) (Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+func (n TCP) Dial(addr string) (Conn, error) {
+	to := n.DialTimeout
+	if to <= 0 {
+		to = 10 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, to)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, n), nil
 }
 
 type tcpListener struct {
-	l net.Listener
+	l    net.Listener
+	opts TCP
 }
 
 func (t *tcpListener) Accept() (Conn, error) {
@@ -98,54 +119,341 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, t.opts), nil
 }
 
 func (t *tcpListener) Close() error { return t.l.Close() }
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
+// closeFlushTimeout bounds the final drain in Close: a peer that stopped
+// reading cannot wedge shutdown behind a full socket buffer.
+const closeFlushTimeout = 5 * time.Second
+
+// maxQueuedFrames bounds the outbound batch queue. A sender that outruns
+// the flusher blocks here (classic backpressure, like the pre-batcher
+// flush-per-send path) instead of growing the queue without limit — which
+// would both unbound memory and starve the buffer pool, since every queued
+// frame pins a pooled Buf.
+const maxQueuedFrames = 1024
+
+// connBufSize sizes the per-connection buffered reader and writer. The
+// batcher's one-flush-per-drain policy only pays off if a drained batch fits
+// the writer; bufio's default 4KB auto-flushes every dozen frames and gives
+// the coalescing back to the kernel.
+const connBufSize = 64 << 10
+
+// tcpConn frames messages over a TCP socket. Outbound frames are encoded
+// into pooled buffers and queued; a per-connection flusher goroutine drains
+// whatever has accumulated into one buffered write and a single kernel
+// flush per wakeup (writev-style coalescing). The flush-on-idle policy
+// bounds latency without timers: the flusher writes as soon as frames are
+// queued and flushes the moment the queue runs dry, so an isolated frame
+// pays one syscall and a burst pays one flush for the whole batch. The cost
+// is one flusher-goroutine wakeup in the latency path of an isolated frame
+// — microseconds, visible in loopback ping-pong microbenchmarks, noise
+// against real network round trips (Immediate restores inline flushing
+// where that trade is wrong).
+//
+// The queue is bounded at maxQueuedFrames: a sender that outruns the
+// flusher blocks on qRoom until a drain frees room, restoring the blocking
+// semantics of the pre-batcher flush-per-send path and keeping pooled Bufs
+// from piling up. The protocol layers above bound outstanding traffic
+// anyway (ack-gated invalidation, one RPC per client sequence), so queues
+// stay shallow in practice; see DESIGN.md §11.
 type tcpConn struct {
 	c  net.Conn
 	br *bufio.Reader
 
+	// sendMu serializes the buffered writer: the flusher's drain in batched
+	// mode, every Send in immediate mode, and the final flush in Close.
 	sendMu sync.Mutex
 	bw     *bufio.Writer
+
+	immediate bool
+	stats     *BatchStats
+
+	// err is the sticky write error: after the first failed write or flush
+	// every subsequent Send fails fast without touching the socket.
+	err atomic.Pointer[error]
+
+	qMu    sync.Mutex
+	qRoom  sync.Cond   // signaled when the flusher drains; senders wait here when the queue is full
+	q      []*wire.Buf // frames awaiting the flusher; owned Bufs
+	spare  []*wire.Buf // drained backing array, recycled on the next swap
+	free   []*wire.Buf // drained Bufs recycled to Send (avoids cross-goroutine pool traffic)
+	closed bool        // no new frames may enqueue; set by Close
+
+	hdr [4]byte // frame-header scratch, guarded by sendMu (a stack array would escape into the bufio call)
+
+	kick    chan struct{} // capacity 1: one pending kick covers any number of enqueues
+	done    chan struct{} // closed by Close; tells the flusher to drain and exit
+	flushed chan struct{} // closed by the flusher once the final drain completed
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+func newTCPConn(c net.Conn, opts TCP) *tcpConn {
+	t := &tcpConn{
+		c:         c,
+		br:        bufio.NewReaderSize(c, connBufSize),
+		bw:        bufio.NewWriterSize(c, connBufSize),
+		immediate: opts.Immediate,
+		stats:     opts.Stats,
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		flushed:   make(chan struct{}),
+	}
+	t.qRoom.L = &t.qMu
+	if t.immediate {
+		close(t.flushed) // no flusher to wait for
+	} else {
+		go t.flushLoop()
+	}
+	return t
+}
+
+func (t *tcpConn) sendErr() error {
+	if p := t.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (t *tcpConn) setErr(err error) { t.err.CompareAndSwap(nil, &err) }
+
+// getBuf hands out an encode buffer: in batched mode the flusher recycles
+// drained Bufs into a per-connection freelist, which keeps the hot path off
+// the global sync.Pool (whose cross-goroutine handoff — Send allocates,
+// flusher releases — is measurably slower than a mutex-guarded stack).
+func (t *tcpConn) getBuf() *wire.Buf {
+	if !t.immediate {
+		t.qMu.Lock()
+		if n := len(t.free); n > 0 {
+			b := t.free[n-1]
+			t.free[n-1] = nil
+			t.free = t.free[:n-1]
+			t.qMu.Unlock()
+			return b
+		}
+		t.qMu.Unlock()
+	}
+	return wire.GetBuf()
 }
 
 func (t *tcpConn) Send(m wire.Message) error {
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
-	if err := wire.WriteFrame(t.bw, m); err != nil {
+	buf := t.getBuf()
+	b, err := wire.AppendEncode(buf.B[:0], m)
+	if err != nil {
+		buf.Release()
 		return err
 	}
-	return t.bw.Flush()
+	buf.B = b
+	return t.SendFrameBuf(buf)
 }
 
-func (t *tcpConn) Recv() (wire.Message, error) { return wire.ReadFrame(t.br) }
-
-// SendFrame writes a pre-encoded frame body (see FrameSender). Encoding
-// outside the send mutex shortens the critical section; only the framed
-// write is serialized.
+// SendFrame writes a pre-encoded frame body (see FrameSender). The body is
+// copied into a pooled buffer; callers that can hand over ownership should
+// use SendFrameBuf instead.
 func (t *tcpConn) SendFrame(body []byte) error {
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
-	if err := wire.WriteFrameBytes(t.bw, body); err != nil {
+	buf := t.getBuf()
+	buf.B = append(buf.B[:0], body...)
+	return t.SendFrameBuf(buf)
+}
+
+// SendFrameBuf queues a pre-encoded frame body for transmission, taking
+// ownership of buf: the connection releases it once the bytes reach the
+// buffered writer (or the send fails). In batched mode this only enqueues
+// and kicks the flusher; in immediate mode it writes and flushes inline.
+func (t *tcpConn) SendFrameBuf(buf *wire.Buf) error {
+	if t.immediate {
+		t.sendMu.Lock()
+		err := t.sendErr()
+		if err == nil {
+			if err = t.writeFrame(buf.B); err == nil {
+				err = t.bw.Flush()
+			}
+			if err != nil {
+				t.setErr(err)
+			}
+		}
+		t.sendMu.Unlock()
+		buf.Release()
 		return err
 	}
-	return t.bw.Flush()
+	t.qMu.Lock()
+	for !t.closed && len(t.q) >= maxQueuedFrames && t.sendErr() == nil {
+		t.qRoom.Wait() // backpressure: the flusher signals after each drain
+	}
+	if t.closed {
+		t.qMu.Unlock()
+		buf.Release()
+		return ErrClosed
+	}
+	if err := t.sendErr(); err != nil {
+		t.qMu.Unlock()
+		buf.Release()
+		return err
+	}
+	t.q = append(t.q, buf)
+	t.qMu.Unlock()
+	select {
+	case t.kick <- struct{}{}:
+	default: // a kick is already pending; the flusher will see this frame
+	}
+	return nil
+}
+
+// flushLoop is the connection's batcher. It exits only when Close fires
+// done, after a final drain so queued frames are never lost (flush-then-
+// close).
+func (t *tcpConn) flushLoop() {
+	defer close(t.flushed)
+	for {
+		select {
+		case <-t.kick:
+			t.drain()
+		case <-t.done:
+			t.drain()
+			return
+		}
+	}
+}
+
+// drain repeatedly swaps the queue out and writes every frame it finds,
+// flushing once per pass — the flush-on-idle policy. The two backing
+// arrays ping-pong between q and spare so steady-state enqueues allocate
+// nothing. On write error the remaining frames are released, not written:
+// the stream is broken mid-frame and anything after the failure point
+// could never be parsed by the peer anyway.
+func (t *tcpConn) drain() {
+	for {
+		t.qMu.Lock()
+		if len(t.q) == 0 {
+			t.qMu.Unlock()
+			return
+		}
+		batch := t.q
+		if t.spare != nil {
+			t.q = t.spare[:0]
+			t.spare = nil
+		} else {
+			t.q = nil
+		}
+		t.qRoom.Broadcast() // queue has room again; wake blocked senders
+		t.qMu.Unlock()
+
+		t.sendMu.Lock()
+		err := t.sendErr()
+		for _, b := range batch {
+			if err == nil {
+				err = t.writeFrame(b.B)
+			}
+		}
+		if err == nil {
+			err = t.bw.Flush()
+		}
+		if err != nil {
+			t.setErr(err)
+		}
+		t.sendMu.Unlock()
+		t.stats.record(len(batch))
+
+		// Recycle the drained Bufs into the freelist for getBuf, and hand the
+		// backing array back as spare. Both must happen before senders can
+		// append over the array, so everything runs under one qMu hold;
+		// Release (freelist full, or an oversized one-off frame) is the rare
+		// path.
+		t.qMu.Lock()
+		for i, b := range batch {
+			if len(t.free) < maxQueuedFrames && cap(b.B) <= connBufSize {
+				t.free = append(t.free, b)
+			} else {
+				b.Release()
+			}
+			batch[i] = nil
+		}
+		if t.spare == nil {
+			t.spare = batch[:0]
+		}
+		t.qMu.Unlock()
+	}
+}
+
+// writeFrame writes one length-prefixed frame into the buffered writer.
+// Callers hold sendMu (which also guards the header scratch). This is
+// wire.WriteFrameBytes inlined against the concrete *bufio.Writer so the
+// header bytes never escape.
+func (t *tcpConn) writeFrame(body []byte) error {
+	if len(body) > wire.MaxFrame {
+		return wire.ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(t.hdr[:], uint32(len(body)))
+	if _, err := t.bw.Write(t.hdr[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := t.bw.Write(body); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpConn) Recv() (wire.Message, error) {
+	buf, err := wire.ReadFrameBuf(t.br)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.Decode(buf.B)
+	buf.Release()
+	return m, err
 }
 
 // RecvFrame returns the next raw frame body without decoding it (see
-// FrameReceiver).
+// FrameReceiver). The body is freshly allocated; hot paths use
+// RecvFrameBuf.
 func (t *tcpConn) RecvFrame() ([]byte, error) { return wire.ReadFrameBytes(t.br) }
 
-func (t *tcpConn) Close() error { return t.c.Close() }
-func (t *tcpConn) LocalAddr() string           { return t.c.LocalAddr().String() }
-func (t *tcpConn) RemoteAddr() string          { return t.c.RemoteAddr().String() }
+// RecvFrameBuf returns the next raw frame body in a pooled buffer (see
+// FrameBufReceiver). The caller owns the Buf and must Release it.
+func (t *tcpConn) RecvFrameBuf() (*wire.Buf, error) { return wire.ReadFrameBuf(t.br) }
+
+// Close flushes queued frames, then tears the connection down: frames
+// accepted by Send are on the wire before the socket closes. A write
+// deadline bounds the final drain so a wedged peer cannot block Close;
+// pending Recv calls unblock when the socket closes.
+func (t *tcpConn) Close() error {
+	t.closeOnce.Do(func() {
+		t.qMu.Lock()
+		t.closed = true     // no frames enqueue after this; see SendFrameBuf
+		t.qRoom.Broadcast() // senders blocked on backpressure fail with ErrClosed
+		t.qMu.Unlock()
+		//lint:allow clockcheck — socket I/O deadline for the close-flush, not lease time
+		t.c.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+		close(t.done)
+		<-t.flushed // batched mode: the flusher's final drain has completed
+		if t.immediate {
+			t.sendMu.Lock()
+			if t.sendErr() == nil {
+				if err := t.bw.Flush(); err != nil {
+					t.setErr(err)
+				}
+			}
+			t.sendMu.Unlock()
+		}
+		t.closeErr = t.c.Close()
+		t.qMu.Lock()
+		for i, b := range t.free { // return recycled Bufs to the shared pool
+			b.Release()
+			t.free[i] = nil
+		}
+		t.free = nil
+		t.qMu.Unlock()
+	})
+	return t.closeErr
+}
+
+func (t *tcpConn) LocalAddr() string  { return t.c.LocalAddr().String() }
+func (t *tcpConn) RemoteAddr() string { return t.c.RemoteAddr().String() }
 
 // --- In-memory network ---
 
@@ -310,8 +618,24 @@ type memConn struct {
 	peer   *memConn
 	in     chan wire.Message
 
+	// Delayed delivery (SetLatency) runs through a single per-connection
+	// goroutine draining delayQ in FIFO order. One goroutine per direction
+	// keeps the documented ordering guarantee: independent timers per
+	// message (the old implementation) raced each other into the peer's
+	// inbox and could reorder even back-to-back sends.
+	delayMu   sync.Mutex
+	delayQ    []delayedMsg
+	delayHead int // first undelivered entry; delayQ[:delayHead] is consumed
+	delayKick chan struct{}
+	delayOnce sync.Once
+
 	closeOnce sync.Once
 	done      chan struct{}
+}
+
+type delayedMsg struct {
+	m   wire.Message
+	due time.Time
 }
 
 // Send delivers to the peer's inbox unless the link is partitioned (silent
@@ -328,24 +652,86 @@ func (c *memConn) Send(m wire.Message) error {
 	c.net.mu.Lock()
 	latency := c.net.latency
 	c.net.mu.Unlock()
-	deliver := func() {
+	if latency > 0 {
+		c.delayOnce.Do(func() {
+			c.delayKick = make(chan struct{}, 1)
+			go c.deliverLoop()
+		})
+		c.delayMu.Lock()
+		//lint:allow clockcheck — in-flight delay is simulated wire time, real by design
+		c.delayQ = append(c.delayQ, delayedMsg{m: m, due: time.Now().Add(latency)})
+		c.delayMu.Unlock()
 		select {
-		case c.peer.in <- m:
+		case c.delayKick <- struct{}{}:
+		default:
+		}
+		return nil
+	}
+	select {
+	case c.peer.in <- m:
+	case <-c.peer.done:
+	}
+	return nil
+}
+
+// deliverLoop drains delayQ strictly in enqueue order, sleeping until each
+// message's due time. Closing the connection drops whatever is still in
+// flight, matching the undelayed path's semantics (messages racing a close
+// are lost).
+func (c *memConn) deliverLoop() {
+	// One reusable timer for the whole loop: a fresh time.NewTimer per
+	// message shows up as per-message garbage in every latency-injected
+	// benchmark. The timer is always expired-and-drained when Reset is
+	// called (we only loop back after receiving from timer.C).
+	//lint:allow clockcheck — sleeping out the injected wire latency
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		c.delayMu.Lock()
+		var next delayedMsg
+		ok := c.delayHead < len(c.delayQ)
+		if ok {
+			// Pop by head index instead of reslicing: delayQ keeps its
+			// backing array, so the steady state appends without
+			// reallocating. The consumed slot is zeroed to release the
+			// message.
+			next = c.delayQ[c.delayHead]
+			c.delayQ[c.delayHead] = delayedMsg{}
+			c.delayHead++
+			if c.delayHead == len(c.delayQ) {
+				c.delayQ = c.delayQ[:0]
+				c.delayHead = 0
+			}
+		}
+		c.delayMu.Unlock()
+		if !ok {
+			select {
+			case <-c.delayKick:
+				continue
+			case <-c.done:
+				return
+			}
+		}
+		//lint:allow clockcheck — sleeping out the injected wire latency
+		timer.Reset(time.Until(next.due))
+		select {
+		case <-timer.C:
+		case <-c.done:
+			timer.Stop()
+			return
+		}
+		// Re-check the partition at delivery time: a cut that happens while
+		// the message is in flight loses it.
+		if c.net.Partitioned(Host(c.local), Host(c.remote)) {
+			continue
+		}
+		select {
+		case c.peer.in <- next.m:
 		case <-c.peer.done:
 		}
 	}
-	if latency > 0 {
-		time.AfterFunc(latency, func() {
-			// Re-check the partition at delivery time: a cut that happens
-			// while the message is in flight loses it.
-			if !c.net.Partitioned(Host(c.local), Host(c.remote)) {
-				deliver()
-			}
-		})
-		return nil
-	}
-	deliver()
-	return nil
 }
 
 func (c *memConn) Recv() (wire.Message, error) {

@@ -52,6 +52,20 @@ func BenchmarkWirePath(b *testing.B) {
 				}
 			}
 		})
+		b.Run("append/"+m.Kind().String(), func(b *testing.B) {
+			// The pooled form: encoding into a reused buffer must not
+			// allocate — this is the batched send path's per-message cost.
+			b.ReportAllocs()
+			b.SetBytes(int64(Size(m)))
+			dst := make([]byte, 0, Size(m))
+			for i := 0; i < b.N; i++ {
+				enc, err := AppendEncode(dst[:0], m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dst = enc[:0]
+			}
+		})
 		buf, err := Encode(m)
 		if err != nil {
 			b.Fatal(err)

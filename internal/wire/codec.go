@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -24,9 +26,19 @@ var (
 	ErrUnknownKind = errors.New("wire: unknown message kind")
 )
 
-// Encode serializes m as kind byte + body (no frame header).
-func Encode(m Message) ([]byte, error) {
-	var e encoder
+// Encode serializes m as kind byte + body (no frame header). It is
+// AppendEncode into a fresh buffer; hot paths that can reuse a buffer
+// should call AppendEncode directly.
+func Encode(m Message) ([]byte, error) { return AppendEncode(nil, m) }
+
+// AppendEncode appends m's encoding (kind byte + body, no frame header) to
+// dst and returns the extended slice. When dst has enough capacity the call
+// does not allocate, which is what keeps the batched send path at zero
+// allocations per message. Only the appended portion is bounded by
+// MaxFrame; bytes already in dst don't count against the frame limit.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	e := encoder{buf: dst}
+	start := len(dst)
 	e.u8(uint8(m.Kind()))
 	switch v := m.(type) {
 	case Hello:
@@ -102,7 +114,7 @@ func Encode(m Message) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
-	if len(e.buf) > MaxFrame {
+	if len(e.buf)-start > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
 	return e.buf, nil
@@ -216,29 +228,96 @@ func WriteFrameBytes(w io.Writer, body []byte) error {
 
 // ReadFrame reads one length-prefixed message from r.
 func ReadFrame(r io.Reader) (Message, error) {
-	body, err := ReadFrameBytes(r)
+	buf, err := ReadFrameBuf(r)
 	if err != nil {
 		return nil, err
 	}
-	return Decode(body)
+	m, err := Decode(buf.B)
+	buf.Release()
+	return m, err
 }
 
 // ReadFrameBytes reads one length-prefixed frame body from r without
 // decoding it, so callers can separate blocking-read time from decode time.
+// The returned slice is freshly allocated and owned by the caller; hot
+// paths that can release the body promptly should use ReadFrameBuf.
 func ReadFrameBytes(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	buf, err := ReadFrameBuf(r)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, len(buf.B))
+	copy(body, buf.B)
+	buf.Release()
+	return body, nil
+}
+
+// ReadFrameBuf reads one length-prefixed frame body from r into a pooled
+// buffer. The caller owns the returned Buf and must Release it once the
+// body has been decoded (Decode copies every variable-length field, so the
+// decoded message never aliases the buffer).
+func ReadFrameBuf(r io.Reader) (*Buf, error) {
+	// The header is read into the pooled buffer rather than a local array:
+	// a stack [4]byte would escape through the io.Reader interface call and
+	// cost an allocation per frame.
+	buf := GetBuf()
+	if cap(buf.B) < 4 {
+		buf.B = make([]byte, 4, 512)
+	}
+	buf.B = buf.B[:4]
+	if _, err := io.ReadFull(r, buf.B); err != nil {
+		buf.Release()
 		return nil, err // io.EOF passes through for clean shutdown detection
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(buf.B)
 	if n > MaxFrame {
+		buf.Release()
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if uint32(cap(buf.B)) < n {
+		buf.B = make([]byte, n)
+	} else {
+		buf.B = buf.B[:n]
+	}
+	if _, err := io.ReadFull(r, buf.B); err != nil {
+		buf.Release()
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
-	return body, nil
+	return buf, nil
+}
+
+// --- pooled frame buffers ---
+
+// Buf is a pooled byte buffer holding one encoded frame body. Ownership is
+// explicit and transfers exactly once: whoever holds a Buf either hands it
+// to the next stage (which then owns it) or calls Release. Releasing makes
+// the backing array eligible for reuse, so neither B nor anything aliasing
+// it may be touched afterwards.
+type Buf struct {
+	B []byte
+}
+
+// maxPooledBuf caps the capacity of buffers returned to the pool so a rare
+// jumbo frame (up to MaxFrame) doesn't pin megabytes for the steady state
+// of sub-kilobyte lease messages.
+const maxPooledBuf = 64 << 10
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, 512)} }}
+
+// GetBuf returns an empty pooled buffer. Pass it back with Release (or hand
+// it to an owner that will) once done.
+func GetBuf() *Buf {
+	return bufPool.Get().(*Buf)
+}
+
+// Release returns the buffer to the pool. Safe on a nil Buf; oversized
+// backing arrays are dropped for the garbage collector instead of pooled.
+func (b *Buf) Release() {
+	if b == nil || cap(b.B) > maxPooledBuf {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
 }
 
 // --- primitive encoder/decoder ---
@@ -267,14 +346,29 @@ func (e *encoder) bytes(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
-// time encodes as Unix nanoseconds; the zero time is encoded as math
-// minimum and restored exactly.
+// zeroTimeNano is the wire sentinel for the zero time.Time: math.MinInt64
+// nanoseconds, the year-1677 edge of the representable range, which no
+// lease timestamp can legitimately carry (the encoder clamps a real
+// timestamp landing exactly there by one nanosecond). The previous sentinel
+// was 0, which collided with UnixNano()==0 — the Unix epoch — so an epoch
+// Expire silently round-tripped to the zero time. Compat: frames from
+// peers predating this change encode the zero time as 0 and now decode as
+// the epoch; every expiry comparison treats both as "expired long ago", so
+// mixed-version operation is safe.
+const zeroTimeNano = math.MinInt64
+
+// time encodes as varint Unix nanoseconds; the zero time is encoded as the
+// zeroTimeNano sentinel and restored exactly.
 func (e *encoder) time(t time.Time) {
 	if t.IsZero() {
-		e.i64(0)
+		e.i64(zeroTimeNano)
 		return
 	}
-	e.i64(t.UnixNano())
+	n := t.UnixNano()
+	if n == zeroTimeNano {
+		n++ // reserved for the zero time; clamp by 1ns (same varint width)
+	}
+	e.i64(n)
 }
 
 func (e *encoder) objects(ids []core.ObjectID) {
@@ -385,7 +479,7 @@ func (d *decoder) bytes() []byte {
 
 func (d *decoder) time() time.Time {
 	v := d.i64()
-	if d.err != nil || v == 0 {
+	if d.err != nil || v == zeroTimeNano {
 		return time.Time{}
 	}
 	return time.Unix(0, v)

@@ -3,9 +3,13 @@ package wire
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
+
+// epochTime builds a timestamp n nanoseconds from the Unix epoch.
+func epochTime(n int64) time.Time { return time.Unix(0, n) }
 
 // FuzzDecode checks that no input can panic the decoder, and that anything
 // it accepts re-encodes and re-decodes to the same bytes (canonical form).
@@ -30,6 +34,16 @@ func FuzzDecode(f *testing.F) {
 			Trace: TraceContext{TraceID: 9, SpanID: 10}},
 		AckInvalidate{Volume: "v", Objects: []core.ObjectID{"a"},
 			Trace: TraceContext{SpanID: 11}},
+		// Timestamp edges around the zero-time sentinel: the zero time
+		// (encodes as math.MinInt64), the Unix epoch (UnixNano()==0, a
+		// legitimate value that must NOT collapse to the zero time), and
+		// timestamps adjacent to both.
+		ObjLease{Seq: 7, Object: "o", Version: 1},
+		ObjLease{Seq: 7, Object: "o", Version: 1, Expire: epochTime(0)},
+		VolLease{Seq: 8, Volume: "v", Epoch: 1, Expire: epochTime(1)},
+		VolLease{Seq: 8, Volume: "v", Epoch: 1, Expire: epochTime(-1)},
+		InvalRenew{Seq: 9, Volume: "v",
+			Renew: []LeaseMeta{{Object: "b", Version: 1, Expire: epochTime(0)}}},
 	}
 	for _, m := range seeds {
 		buf, err := Encode(m)

@@ -109,11 +109,13 @@ func sizeStr(s string) int {
 	return sizeUv(uint64(len(s))) + len(s)
 }
 
-// sizeTime mirrors encoder.time: the zero time encodes as varint 0,
-// everything else as varint UnixNano.
+// sizeTime mirrors encoder.time: the zero time encodes as the zeroTimeNano
+// sentinel, everything else as varint UnixNano. The clamp for a timestamp
+// landing exactly on the sentinel changes the value by 1ns, not the varint
+// width, so sizing by the raw UnixNano stays exact.
 func sizeTime(t time.Time) int {
 	if t.IsZero() {
-		return sizeIv(0)
+		return sizeIv(zeroTimeNano)
 	}
 	return sizeIv(t.UnixNano())
 }
