@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled bench-diff bench-wirepath flightdump figures fuzz examples loadtest clean
+.PHONY: all build vet lint staticcheck test race check cover bench bench-json bench-disabled bench-diff bench-wirepath flightdump statedump figures fuzz examples loadtest clean
 
 all: check
 
@@ -78,6 +78,7 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff \
 		-rule 'repro Benchmark=alloc:0.01' \
 		-rule 'transport Benchmark=ns:75' \
+		-rule 'core BenchmarkTableSnapshot=ns:50,alloc:0.01' \
 		$(BENCH_BASE) $(BENCH_CAND)
 
 # Gate: the batched wire path must stay allocation-free end to end — the
@@ -90,9 +91,10 @@ bench-wirepath:
 
 # Gate: the instrumented hot paths must stay allocation-free when tracing
 # is disabled (BenchmarkEmitDisabled / BenchmarkSpanDisabled /
-# BenchmarkFlightDisabled / BenchmarkCostDisabled report 0 B/op).
+# BenchmarkFlightDisabled / BenchmarkCostDisabled / BenchmarkStateDisabled
+# report 0 B/op).
 bench-disabled:
-	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span|Flight|Cost)Disabled' -benchmem ./internal/obs ./internal/health ./internal/cost | tee /dev/stderr | \
+	$(GO) test -run '^$$' -bench 'Benchmark(Emit|Span|Flight|Cost|State)Disabled' -benchmem ./internal/obs ./internal/health ./internal/cost ./internal/state | tee /dev/stderr | \
 		awk '/Disabled/ && ($$(NF-1) != 0 || $$(NF-3) != 0) { bad = 1 } END { exit bad }'
 
 # Smoke test for the flight recorder: run the chaos scenario (partition a
@@ -102,6 +104,12 @@ FLIGHTDUMP_DIR ?= flight-dumps
 flightdump:
 	FLIGHT_DUMP_DIR=$(abspath $(FLIGHTDUMP_DIR)) $(GO) test -count=1 -run TestChaosPartitionLeavesFlightDump -v ./internal/health
 	@ls -l $(FLIGHTDUMP_DIR)/flight-*.json
+
+# Smoke test for lease-state introspection: drive leasemon's -leases and
+# -diff modes against a live server and two clients, including the
+# injected holder-mismatch that must exit 2. See DESIGN.md §12.
+statedump:
+	$(GO) test -count=1 -run TestStateDumpSmoke -v ./cmd/leasemon
 
 fuzz:
 	$(GO) test ./internal/wire -run Fuzz -fuzz=FuzzDecode -fuzztime=30s

@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/state"
 	"repro/internal/transport"
 )
 
@@ -156,12 +157,46 @@ func execute(o options) (*result, error) {
 		load     *loadtl.Timeline
 		engine   *health.Engine
 	)
+	// Lease-state introspection: the debug server starts before the
+	// self-contained server and the client fleet exist, so /debug/leases and
+	// the lease_state_* gauges read them through a mutex-guarded box filled
+	// once they are built (empty dump until then).
+	stateBox := &struct {
+		sync.Mutex
+		addr    string
+		srv     *server.Server
+		clients []*client.Client
+	}{}
+	stateSrc := state.NewSource(func() state.Dump {
+		stateBox.Lock()
+		srv, cls, srvAddr := stateBox.srv, stateBox.clients, stateBox.addr
+		stateBox.Unlock()
+		d := state.Dump{Role: state.RoleClient, Node: "bench"}
+		if srv != nil {
+			sd := srv.StateSnapshot()
+			d.Role, d.Server, d.TakenAt = state.RoleServer, sd.Server, sd.TakenAt
+		}
+		for _, cl := range cls {
+			cs := cl.StateSnapshot()
+			cs.Server = srvAddr
+			if cs.TakenAt.After(d.TakenAt) {
+				d.TakenAt = cs.TakenAt
+			}
+			d.Clients = append(d.Clients, cs)
+		}
+		if d.TakenAt.IsZero() {
+			d.TakenAt = time.Now()
+		}
+		return d
+	})
+
 	if o.debugAddr != "" || o.audit || o.trace {
 		reg := obs.NewRegistry()
 		observer = &obs.Observer{Metrics: reg}
 		rec = metrics.NewRecorder()
 		obs.RegisterRecorder(reg, rec)
-		var routes []obs.Route
+		state.Register(reg, "bench", stateSrc, o.volLease)
+		routes := []obs.Route{{Path: "/debug/leases", Handler: state.Handler(stateSrc)}}
 		var sinks []obs.Sink
 		if o.audit {
 			aud = audit.New(audit.LiveConfig(core.Config{
@@ -190,6 +225,7 @@ func execute(o options) (*result, error) {
 			flightRec := health.NewFlightRecorder("bench", 16384, o.duration+30*time.Second)
 			flightRec.AttachSpans(spanRec)
 			flightRec.AttachTimeline(load)
+			flightRec.AttachState(stateSrc)
 			sinks = append(sinks, flightRec)
 			engine = health.NewEngine(health.Options{
 				Node:    "bench",
@@ -314,6 +350,9 @@ func execute(o options) (*result, error) {
 		defer cl.Close()
 		clients[i] = cl
 	}
+	stateBox.Lock()
+	stateBox.addr, stateBox.srv, stateBox.clients = addr, srv, clients
+	stateBox.Unlock()
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})

@@ -21,7 +21,10 @@
 // bytes, and encode/decode time at the transport boundary (lease_cost_*
 // metrics, /debug/cost with ?kind= and ?volume= filters), and
 // -profile-interval samples heap/goroutine (optionally CPU) profiles into a
-// flight-recorder-style ring served at /debug/profile/ring.
+// flight-recorder-style ring served at /debug/profile/ring. /debug/leases
+// serves the live lease-table snapshot (who holds what until when, with
+// ?volume=/?client=/?expiring= filters) and the lease_state_* gauges
+// summarize it; flight dumps freeze the same snapshot.
 //
 // -audit attaches the online consistency auditor (internal/audit): every
 // protocol event also feeds a shadow model of the lease state, violations
@@ -49,6 +52,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/state"
 	"repro/internal/transport"
 )
 
@@ -303,11 +307,17 @@ func start(opts options) (*instance, error) {
 		srv.Close()
 		return nil, err
 	}
+	// Lease-state introspection: /debug/leases, lease_state_* gauges, and a
+	// frozen table snapshot in every flight dump. Attached before the health
+	// engine starts so no freeze can race the attach.
+	stateSrc := srv.StateSource()
+	state.Register(in.reg, opts.volume, stateSrc, opts.volLease)
+	in.flight.AttachState(stateSrc)
 	in.health.Start()
 	in.prof.Start()
 
 	if opts.debugAddr != "" {
-		var routes []obs.Route
+		routes := []obs.Route{{Path: "/debug/leases", Handler: state.Handler(stateSrc)}}
 		if in.aud != nil {
 			routes = append(routes, obs.Route{Path: "/debug/audit", Handler: in.aud})
 		}
@@ -379,7 +389,7 @@ func run() error {
 	log.Printf("leased: serving volume %q (%d objects, mode=%s, t=%v, tv=%v) on %s",
 		in.volLog, in.seeded, in.mode, in.objLog, in.volLeas, in.srv.Addr())
 	if in.debug != nil {
-		endpoints := "/metrics /debug/vars /debug/pprof"
+		endpoints := "/metrics /debug/vars /debug/pprof /debug/leases"
 		if in.ring != nil {
 			endpoints += " /debug/events"
 		}

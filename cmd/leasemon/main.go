@@ -6,6 +6,8 @@
 // Usage:
 //
 //	leasemon host:port [host:port ...]          fleet status table
+//	leasemon -leases host:port [host:port ...]  fleet lease-state table (/debug/leases)
+//	leasemon -diff server:port [client:port...] server↔client lease divergence check
 //	leasemon -dumps host:port                   list flight dumps on one node
 //	leasemon -dump latest host:port             fetch + pretty-print the newest dump
 //	leasemon -dump flight-....json host:port    fetch + pretty-print one dump
@@ -13,12 +15,23 @@
 //
 // The fleet table's MSGS/S and BYTES/S columns come from two /metrics
 // samples of the lease_cost_* counters taken -rate-window apart; nodes
-// running with cost accounting disabled show "-".
+// running with cost accounting disabled show "-". The LEASES and EXPIRING
+// columns read the lease_state_* gauges; nodes without lease-state
+// introspection show "-".
+//
+// -diff scrapes /debug/leases from every endpoint — the first must serve a
+// server (or proxy) table, the rest contribute client views — and runs the
+// internal/state diff engine: holder mismatches, expiry skew beyond ε
+// (-epsilon widens the per-client bound), unreachable clients still
+// caching, and overdue invalidation acks. The comparison is exact when the
+// fleet is quiescent between scrapes; under traffic, transient divergences
+// are expected to converge to zero on a re-run.
 //
 // Endpoints are the debug addresses the daemons expose via -debug-addr.
-// The exit status is 0 when every endpoint is healthy, 1 on a usage or
-// scrape failure, and 2 when the fleet is reachable but some detector is
-// firing — so leasemon drops into cron and CI gates unchanged.
+// The exit status is 0 when every endpoint is healthy (-diff: no
+// divergence), 1 on a usage or scrape failure, and 2 when the fleet is
+// reachable but some detector is firing (-diff: divergence found) — so
+// leasemon drops into cron and CI gates unchanged.
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/health"
+	"repro/internal/state"
 )
 
 func main() {
@@ -52,6 +66,10 @@ func run(out, errw io.Writer, argv []string) int {
 	freeze := fs.Bool("freeze", false, "force the endpoint to freeze its flight recorder to disk")
 	raw := fs.Bool("raw", false, "with -dump: emit the raw JSON instead of the pretty view")
 	events := fs.Int("events", 20, "with -dump: how many trailing events to print (0 = all)")
+	leases := fs.Bool("leases", false, "render the fleet lease-state table from each endpoint's /debug/leases")
+	diff := fs.Bool("diff", false, "diff lease state: first endpoint is the server view, the rest contribute client views")
+	epsilon := fs.Duration("epsilon", 0, "with -diff: expiry-skew tolerance added on top of each client's own ε")
+	window := fs.Duration("window", state.DefaultExpiringWindow, "with -leases: lookahead for the EXPIRING column")
 	if err := fs.Parse(argv); err != nil {
 		return 1
 	}
@@ -71,6 +89,10 @@ func run(out, errw io.Writer, argv []string) int {
 		err = listDumps(out, cl, eps[0])
 	case *freeze:
 		err = freezeDump(out, cl, eps[0])
+	case *leases:
+		return leaseTable(out, errw, cl, eps, *window)
+	case *diff:
+		return diffLeases(out, errw, cl, eps, *epsilon)
 	default:
 		return fleet(out, errw, cl, eps, *rateWin)
 	}
@@ -90,6 +112,9 @@ type row struct {
 	hasCost   bool    // node exports lease_cost_* (cost accounting enabled)
 	msgsRate  float64 // wire messages/s over the rate window, both directions
 	bytesRate float64 // wire bytes/s over the rate window, both directions
+	hasState  bool    // node exports lease_state_* (lease introspection enabled)
+	leases    float64 // object + volume leases from the lease_state_* gauges
+	expiring  float64 // leases expiring within the node's own window
 	err       error
 }
 
@@ -108,11 +133,11 @@ func fleet(out, errw io.Writer, cl *http.Client, eps []string, rateWin time.Dura
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ENDPOINT\tNODE\tSTATUS\tFIRING\tTRIGGERS\tDUMPS\tBURN\tSERIES\tMSGS/S\tBYTES/S")
+	fmt.Fprintln(tw, "ENDPOINT\tNODE\tSTATUS\tFIRING\tTRIGGERS\tDUMPS\tBURN\tLEASES\tEXPIRING\tSERIES\tMSGS/S\tBYTES/S")
 	exit := 0
 	for _, r := range rows {
 		if r.err != nil {
-			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\t-\t-\n", r.endpoint)
+			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\t-\t-\t-\t-\n", r.endpoint)
 			fmt.Fprintf(errw, "leasemon: %s: %v\n", r.endpoint, r.err)
 			exit = 1
 			continue
@@ -138,9 +163,14 @@ func fleet(out, errw io.Writer, cl *http.Client, eps []string, rateWin time.Dura
 			msgsCol = fmt.Sprintf("%.1f", r.msgsRate)
 			bytesCol = fmt.Sprintf("%.0f", r.bytesRate)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%.2f\t%d\t%s\t%s\n",
+		leaseCol, expCol := "-", "-"
+		if r.hasState {
+			leaseCol = fmt.Sprintf("%.0f", r.leases)
+			expCol = fmt.Sprintf("%.0f", r.expiring)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%.2f\t%s\t%s\t%d\t%s\t%s\n",
 			r.endpoint, rep.Node, rep.Status, firingCol, triggers, rep.DumpsWritten,
-			rep.StalenessBurn, r.series, msgsCol, bytesCol)
+			rep.StalenessBurn, leaseCol, expCol, r.series, msgsCol, bytesCol)
 	}
 	tw.Flush()
 	return exit
@@ -175,6 +205,13 @@ func scrape(cl *http.Client, ep string, rateWin time.Duration) row {
 			r.msgs += v
 		}
 	}
+	obj, haveObj := sumPrefix(series, "lease_state_object_leases")
+	vol, haveVol := sumPrefix(series, "lease_state_volume_leases")
+	if haveObj || haveVol {
+		r.hasState = true
+		r.leases = obj + vol
+		r.expiring, _ = sumPrefix(series, "lease_state_expiring")
+	}
 	msgs0, haveMsgs := sumPrefix(series, "lease_cost_messages_total")
 	bytes0, haveBytes := sumPrefix(series, "lease_cost_bytes_total")
 	if !haveMsgs && !haveBytes {
@@ -201,6 +238,118 @@ func scrape(cl *http.Client, ep string, rateWin time.Duration) row {
 	r.msgsRate = max(0, msgs1-msgs0) / elapsed
 	r.bytesRate = max(0, bytes1-bytes0) / elapsed
 	return r
+}
+
+// scrapeLeases pulls one endpoint's /debug/leases dump.
+func scrapeLeases(cl *http.Client, ep string) (state.Dump, error) {
+	body, err := get(cl, ep, "/debug/leases")
+	if err != nil {
+		return state.Dump{}, err
+	}
+	var d state.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return state.Dump{}, fmt.Errorf("/debug/leases: %w", err)
+	}
+	return d, nil
+}
+
+// leaseTable renders one lease-state row per endpoint from /debug/leases.
+func leaseTable(out, errw io.Writer, cl *http.Client, eps []string, window time.Duration) int {
+	type lrow struct {
+		dump state.Dump
+		err  error
+	}
+	rows := make([]lrow, len(eps))
+	done := make(chan struct{}, len(eps))
+	for i, ep := range eps {
+		go func(i int, ep string) {
+			rows[i].dump, rows[i].err = scrapeLeases(cl, ep)
+			done <- struct{}{}
+		}(i, ep)
+	}
+	for range eps {
+		<-done
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tNODE\tROLE\tOBJ\tVOL\tEXPIRING\tUNREACH\tCACHED\tPEERS")
+	exit := 0
+	for i, r := range rows {
+		if r.err != nil {
+			fmt.Fprintf(tw, "%s\t-\tunreachable\t-\t-\t-\t-\t-\t-\n", eps[i])
+			fmt.Fprintf(errw, "leasemon: %s: %v\n", eps[i], r.err)
+			exit = 1
+			continue
+		}
+		d := r.dump
+		c := state.Count(d, window)
+		// PEERS: connections a server is tracking, or cached upstream views
+		// a client pool holds.
+		peers := len(d.Clients)
+		if d.Server != nil {
+			peers = len(d.Server.Connected)
+		}
+		role := d.Role
+		if role == "" {
+			role = "-"
+		}
+		node := d.Node
+		if node == "" {
+			node = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			eps[i], node, role, c.ObjectLeases, c.VolumeLeases, c.Expiring,
+			c.Unreachable, c.UnreachableCached, peers)
+	}
+	tw.Flush()
+	return exit
+}
+
+// diffLeases scrapes /debug/leases from every endpoint — the first must
+// carry a server table; every dump's client views (including the first's,
+// so a proxy or an audited bench node self-checks) feed the diff — and
+// reports divergences. Exit 0 clean, 1 on scrape/usage failure, 2 on
+// divergence.
+func diffLeases(out, errw io.Writer, cl *http.Client, eps []string, epsilon time.Duration) int {
+	dumps := make([]state.Dump, len(eps))
+	for i, ep := range eps {
+		d, err := scrapeLeases(cl, ep)
+		if err != nil {
+			fmt.Fprintf(errw, "leasemon: %s: %v\n", ep, err)
+			return 1
+		}
+		dumps[i] = d
+	}
+	server := dumps[0]
+	if server.Server == nil {
+		fmt.Fprintf(errw, "leasemon: %s serves no server-side lease table (role %q); -diff needs a leased or leaseproxy endpoint first\n",
+			eps[0], server.Role)
+		return 1
+	}
+	rep := state.Diff(server, dumps, state.Options{Epsilon: epsilon})
+
+	fmt.Fprintf(out, "diff against %s (%s): %d client view(s), %d lease(s) checked, ε=%v\n",
+		server.Node, eps[0], rep.ClientsChecked, rep.LeasesChecked, rep.Epsilon)
+	if rep.Clean() {
+		fmt.Fprintln(out, "clean: server and client lease views agree")
+		return 0
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "KIND\tCLIENT\tVOLUME\tOBJECT\tDETAIL")
+	for _, dv := range rep.Divergences {
+		obj := string(dv.Object)
+		if obj == "" {
+			obj = "-"
+		}
+		vol := string(dv.Volume)
+		if vol == "" {
+			vol = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", dv.Kind, dv.Client, vol, obj, dv.Detail)
+	}
+	tw.Flush()
+	fmt.Fprintf(out, "%d divergence(s)\n", len(rep.Divergences))
+	return 2
 }
 
 // sumPrefix sums every series whose name starts with prefix and reports

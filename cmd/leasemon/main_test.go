@@ -86,13 +86,13 @@ func TestFleetTableFromTwoLiveEndpoints(t *testing.T) {
 		}
 	}
 	fields := strings.Fields(alphaLine)
-	if len(fields) != 10 || fields[7] == "0" {
+	if len(fields) != 12 || fields[9] == "0" {
 		t.Errorf("alpha row did not report scraped lease_ series: %q", alphaLine)
 	}
-	// Health-only nodes export no lease_cost_* series: the rate columns
-	// degrade to "-" instead of zeroes.
-	if len(fields) == 10 && (fields[8] != "-" || fields[9] != "-") {
-		t.Errorf("alpha row invented cost rates without lease_cost_* series: %q", alphaLine)
+	// Health-only nodes export neither lease_state_* gauges nor
+	// lease_cost_* counters: those columns degrade to "-", not zeroes.
+	if len(fields) == 12 && (fields[7] != "-" || fields[8] != "-" || fields[10] != "-" || fields[11] != "-") {
+		t.Errorf("alpha row invented state or cost values without the series: %q", alphaLine)
 	}
 	if !strings.Contains(alphaLine, "0.50") {
 		t.Errorf("alpha row missing staleness burn 0.50: %q", alphaLine)
@@ -133,16 +133,16 @@ func TestFleetRateColumnsFromCostCounters(t *testing.T) {
 		}
 	}
 	fields := strings.Fields(line)
-	if len(fields) != 10 {
-		t.Fatalf("epsilon row has %d columns, want 10: %q", len(fields), line)
+	if len(fields) != 12 {
+		t.Fatalf("epsilon row has %d columns, want 12: %q", len(fields), line)
 	}
-	msgs, err := strconv.ParseFloat(fields[8], 64)
+	msgs, err := strconv.ParseFloat(fields[10], 64)
 	if err != nil || msgs <= 0 {
-		t.Errorf("MSGS/S = %q, want a positive rate (err %v)", fields[8], err)
+		t.Errorf("MSGS/S = %q, want a positive rate (err %v)", fields[10], err)
 	}
-	bytesRate, err := strconv.ParseFloat(fields[9], 64)
+	bytesRate, err := strconv.ParseFloat(fields[11], 64)
 	if err != nil || bytesRate <= 0 {
-		t.Errorf("BYTES/S = %q, want a positive rate (err %v)", fields[9], err)
+		t.Errorf("BYTES/S = %q, want a positive rate (err %v)", fields[11], err)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/loadtl"
 	"repro/internal/obs"
 	"repro/internal/proxy"
+	"repro/internal/state"
 	"repro/internal/transport"
 )
 
@@ -150,6 +151,11 @@ func run() error {
 		return err
 	}
 	defer px.Close()
+	// Lease-state introspection: downstream sub-lease table + upstream
+	// cached view, frozen into anomaly dumps and served at /debug/leases.
+	stateSrc := px.StateSource()
+	state.Register(reg, *id, stateSrc, *volLease)
+	flightRec.AttachState(stateSrc)
 	engine.Start()
 	defer engine.Close()
 	prof.Start()
@@ -158,7 +164,7 @@ func run() error {
 		*volume, px.Addr(), *upstream, *objLease, *volLease)
 
 	if *debugAddr != "" {
-		var routes []obs.Route
+		routes := []obs.Route{{Path: "/debug/leases", Handler: state.Handler(stateSrc)}}
 		if spanRec != nil {
 			routes = append(routes, obs.Route{Path: "/debug/spans", Handler: obs.SpansHandler(spanRec)})
 		}

@@ -131,9 +131,12 @@ var (
 )
 
 // lease is one client's lease on one object or volume (a ⟨client, expire⟩
-// pair from Figure 2's at sets).
+// pair from Figure 2's at sets). granted remembers when the lease was last
+// granted or renewed, for state introspection (internal/state); the
+// protocol itself only ever consults expire.
 type lease struct {
-	expire time.Time
+	granted time.Time
+	expire  time.Time
 }
 
 // object mirrors Figure 2's Object.

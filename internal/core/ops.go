@@ -34,7 +34,7 @@ func (t *Table) GrantObjectLease(now time.Time, client ClientID, oid ObjectID, c
 		return ObjectGrant{}, err
 	}
 	expire := now.Add(t.cfg.ObjectLease)
-	o.at[client] = lease{expire: expire}
+	o.at[client] = lease{granted: now, expire: expire}
 	g := ObjectGrant{Object: oid, Version: o.version, Expire: expire}
 	if clientVersion != o.version {
 		g.Data = append([]byte(nil), o.data...)
@@ -109,7 +109,7 @@ func (t *Table) RequestVolumeLease(now time.Time, client ClientID, vid VolumeID,
 // grantVolume installs the lease and returns the granted reply.
 func (t *Table) grantVolume(now time.Time, v *volume, client ClientID) VolumeGrant {
 	expire := now.Add(t.cfg.VolumeLease)
-	v.at[client] = lease{expire: expire}
+	v.at[client] = lease{granted: now, expire: expire}
 	delete(v.volExpiredAt, client)
 	delete(v.inactive, client)
 	return VolumeGrant{Status: VolumeGranted, Volume: v.id, Expire: expire, Epoch: v.epoch}
@@ -159,7 +159,7 @@ func (t *Table) HandleRenewObjLeases(now time.Time, client ClientID, vid VolumeI
 			continue
 		}
 		expire := now.Add(t.cfg.ObjectLease)
-		o.at[client] = lease{expire: expire}
+		o.at[client] = lease{granted: now, expire: expire}
 		res.Renew = append(res.Renew, ObjectGrant{Object: h.Object, Version: o.version, Expire: expire})
 	}
 	sort.Slice(res.Invalidate, func(i, j int) bool { return res.Invalidate[i] < res.Invalidate[j] })

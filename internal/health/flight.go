@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/loadtl"
 	"repro/internal/obs"
+	"repro/internal/state"
 )
 
 // Trigger identifies the anomaly that froze a flight recording: which
@@ -86,6 +87,7 @@ type FlightRecorder struct {
 	spans    *obs.SpanRecorder
 	tl       *loadtl.Timeline
 	profiles ProfileSource
+	state    *state.Source
 
 	// Per-second metric samples, written by the engine tick (1/s), read at
 	// freeze time: low rate, so a mutex-guarded ring is fine.
@@ -166,6 +168,17 @@ func (f *FlightRecorder) AttachProfiles(src ProfileSource) {
 		return
 	}
 	f.profiles = src
+}
+
+// AttachState arranges for freezes to include a point-in-time lease-state
+// snapshot (internal/state), so a post-mortem carries the table itself —
+// who held what until when — not just the event tail. Call before traffic
+// starts.
+func (f *FlightRecorder) AttachState(src *state.Source) {
+	if f == nil {
+		return
+	}
+	f.state = src
 }
 
 // Window reports the retention target.
@@ -272,6 +285,10 @@ func (f *FlightRecorder) Snapshot(now time.Time, tr *Trigger) Dump {
 	if f.profiles != nil {
 		d.Profiles = f.profiles.SnapshotProfiles()
 	}
+	if f.state != nil {
+		ls := f.state.Snapshot()
+		d.LeaseState = &ls
+	}
 	return d
 }
 
@@ -279,15 +296,18 @@ func (f *FlightRecorder) Snapshot(now time.Time, tr *Trigger) Dump {
 // anomaly and served at /debug/flightrecorder. Everything is plain JSON so
 // leasemon, tests, and humans parse it the same way.
 type Dump struct {
-	Node          string          `json:"node"`
-	WrittenAt     time.Time       `json:"written_at"`
-	WindowSeconds int             `json:"window_seconds"`
-	Trigger       *Trigger        `json:"trigger,omitempty"`
-	Events        []DumpEvent     `json:"events"`
+	Node          string           `json:"node"`
+	WrittenAt     time.Time        `json:"written_at"`
+	WindowSeconds int              `json:"window_seconds"`
+	Trigger       *Trigger         `json:"trigger,omitempty"`
+	Events        []DumpEvent      `json:"events"`
 	Spans         []DumpSpan       `json:"spans,omitempty"`
 	Seconds       []loadtl.Second  `json:"seconds,omitempty"`
 	Samples       []MetricSample   `json:"samples,omitempty"`
 	Profiles      []ProfileCapture `json:"profiles,omitempty"`
+	// LeaseState is the node's frozen lease-table snapshot (who held what
+	// until when at freeze time), attached via AttachState.
+	LeaseState *state.Dump `json:"lease_state,omitempty"`
 }
 
 // DumpEvent is one protocol event in dump form (string-typed, zero fields

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/loadtl"
 	"repro/internal/obs"
+	"repro/internal/state"
 )
 
 func evAt(at time.Time, typ obs.EventType) obs.Event {
@@ -220,5 +222,69 @@ func BenchmarkFlightRecord(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Observe(e)
+	}
+}
+
+func TestDumpFreezesAttachedLeaseState(t *testing.T) {
+	base := clock.Epoch
+	f := NewFlightRecorder("srv", 16, 30*time.Second)
+	f.Observe(evAt(base, obs.EvMsgRecv))
+
+	// Without an attached source, dumps carry no lease state.
+	if d := f.Snapshot(base.Add(time.Second), nil); d.LeaseState != nil {
+		t.Fatalf("unattached recorder froze lease state: %+v", d.LeaseState)
+	}
+
+	want := state.Dump{
+		Role: state.RoleServer, Node: "srv", TakenAt: base.Add(time.Second),
+		Server: &state.ServerSnapshot{
+			TakenAt:   base.Add(time.Second),
+			Connected: []core.ClientID{"c1"},
+			Volumes: []state.VolumeState{{
+				VolumeSnapshot: core.VolumeSnapshot{
+					Volume: "vol", Epoch: 2, TakenAt: base.Add(time.Second),
+					VolumeLeases: []core.LeaseSnapshot{
+						{Client: "c1", Granted: base, Expire: base.Add(10 * time.Second)},
+					},
+				},
+				PendingAcks: []state.PendingAck{{Client: "c1", Object: "a", Deadline: base.Add(10 * time.Second)}},
+			}},
+		},
+	}
+	f.AttachState(state.NewSource(func() state.Dump { return want }))
+
+	d := f.Snapshot(base.Add(2*time.Second), nil)
+	if d.LeaseState == nil {
+		t.Fatal("snapshot did not freeze the attached lease state")
+	}
+
+	path, err := WriteDump(t.TempDir(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := got.LeaseState
+	if ls == nil || ls.Server == nil {
+		t.Fatalf("round trip lost lease state: %+v", got.LeaseState)
+	}
+	if ls.Role != state.RoleServer || ls.Node != "srv" || len(ls.Server.Volumes) != 1 {
+		t.Fatalf("lease state round trip: %+v", ls)
+	}
+	vs := ls.Server.Volumes[0]
+	if vs.Volume != "vol" || vs.Epoch != 2 ||
+		len(vs.VolumeLeases) != 1 || !vs.VolumeLeases[0].Expire.Equal(base.Add(10*time.Second)) {
+		t.Fatalf("volume state round trip: %+v", vs)
+	}
+	if len(vs.PendingAcks) != 1 || vs.PendingAcks[0].Object != "a" {
+		t.Fatalf("pending acks round trip: %+v", vs.PendingAcks)
+	}
+	// The frozen dump must diff like a live one: the same Diff engine
+	// consumes flight-dump lease state during postmortems.
+	rep := state.Diff(*ls, nil, state.Options{})
+	if !rep.Clean() || rep.ServerNode != "srv" {
+		t.Fatalf("frozen dump did not diff: %+v", rep)
 	}
 }

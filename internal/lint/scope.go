@@ -39,7 +39,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	}
 	switch analyzer {
 	case "clockcheck":
-		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health", "cost", "transport")
+		return in("core", "server", "client", "proxy", "sim", "audit", "loadtl", "obs", "metrics", "health", "cost", "transport", "state")
 	case "lockorder":
 		return in("server", "proxy")
 	case "wiresym":
@@ -47,7 +47,7 @@ func Scoped(analyzer, pkgPath string) bool {
 	case "metricreg":
 		return true
 	case "ctxclean":
-		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost", "transport")
+		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost", "transport", "state")
 	default:
 		return false
 	}

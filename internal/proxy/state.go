@@ -1,0 +1,64 @@
+package proxy
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/state"
+)
+
+// StateSnapshot captures the proxy's two-faced lease state: the Server
+// section is the downstream sub-lease table (this node as lease server),
+// the Clients section is its upstream-facing cache (this node as lease
+// client). The proxy's single mutex makes the downstream copy atomic;
+// the upstream view is snapshotted separately on the same clock. Proxy
+// ack records carry no per-entry deadline (the wait bound lives in the
+// invalidation round), so PendingAck.Deadline is zero here.
+func (p *Proxy) StateSnapshot() state.Dump {
+	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	snaps := p.table.Snapshot(now)
+	var acks []state.PendingAck
+	if len(p.acks) > 0 {
+		acks = make([]state.PendingAck, 0, len(p.acks))
+		for key := range p.acks {
+			acks = append(acks, state.PendingAck{Client: key.client, Object: key.object})
+		}
+	}
+	connected := make([]core.ClientID, 0, len(p.conns))
+	for id := range p.conns {
+		connected = append(connected, id)
+	}
+	p.mu.Unlock()
+	sort.Slice(acks, func(i, j int) bool {
+		if acks[i].Client != acks[j].Client {
+			return acks[i].Client < acks[j].Client
+		}
+		return acks[i].Object < acks[j].Object
+	})
+	sort.Slice(connected, func(i, j int) bool { return connected[i] < connected[j] })
+
+	vols := make([]state.VolumeState, 0, len(snaps))
+	for _, vs := range snaps {
+		vols = append(vols, state.VolumeState{VolumeSnapshot: vs, PendingAcks: acks})
+	}
+	up := p.up.StateSnapshot()
+	up.Server = p.cfg.Upstream
+	return state.Dump{
+		Role:    state.RoleProxy,
+		Node:    string(p.cfg.ID),
+		TakenAt: now,
+		Server: &state.ServerSnapshot{
+			TakenAt:   now,
+			Connected: connected,
+			Volumes:   vols,
+		},
+		Clients: []state.ClientSnapshot{up},
+	}
+}
+
+// StateSource returns a nil-safe snapshot source for wiring into
+// /debug/leases and the lease_state_* gauges.
+func (p *Proxy) StateSource() *state.Source {
+	return state.NewSource(p.StateSnapshot)
+}

@@ -515,8 +515,8 @@ func (s *Server) completeWriteAcks(client core.ClientID, objects []core.ObjectID
 		// write's commit event.
 		s.emit(obs.Event{Type: obs.EvInvalAcked, Client: client, Object: oid, At: now})
 		key := ackKey{client: client, object: oid}
-		if ch, ok := sh.acks[key]; ok {
-			close(ch)
+		if aw, ok := sh.acks[key]; ok {
+			close(aw.ch)
 			delete(sh.acks, key)
 		}
 		sh.mu.Unlock()

@@ -27,9 +27,11 @@ type shard struct {
 	// table holds this volume's consistency state (exactly one volume per
 	// table).
 	table *core.Table
-	// acks maps an in-flight write's (client, object) pair to the channel
-	// closed when that client acknowledges the invalidation.
-	acks map[ackKey]chan struct{}
+	// acks maps an in-flight write's (client, object) pair to its wait
+	// record: the channel closed when that client acknowledges the
+	// invalidation, and the lease bound after which the write stops
+	// waiting (surfaced as the pending-ack deadline by StateSnapshot).
+	acks map[ackKey]ackWait
 	// writing guards each object with an in-flight write: lease grants on
 	// it must wait for the write to finish, or a client could receive old
 	// data with a fresh lease after the write's invalidation set was
@@ -39,13 +41,19 @@ type shard struct {
 	writing map[core.ObjectID]chan struct{}
 }
 
+// ackWait is one outstanding write-invalidation acknowledgment.
+type ackWait struct {
+	ch       chan struct{}
+	deadline time.Time
+}
+
 // pendingAcksLocked returns the ack channels of this shard's writes still
 // waiting on the client. sh.mu must be held.
 func (sh *shard) pendingAcksLocked(client core.ClientID) []chan struct{} {
 	var chans []chan struct{}
-	for key, ch := range sh.acks {
+	for key, aw := range sh.acks {
 		if key.client == client {
-			chans = append(chans, ch)
+			chans = append(chans, aw.ch)
 		}
 	}
 	return chans
@@ -68,7 +76,7 @@ func newShard(cfg core.Config, vid core.VolumeID, epoch core.Epoch, fence time.T
 	return &shard{
 		vol:     vid,
 		table:   table,
-		acks:    make(map[ackKey]chan struct{}),
+		acks:    make(map[ackKey]ackWait),
 		writing: make(map[core.ObjectID]chan struct{}),
 	}, nil
 }

@@ -99,7 +99,7 @@ func (s *Server) WriteTraced(oid core.ObjectID, data []byte, tc wire.TraceContex
 	for _, inv := range plan.Notify {
 		key := ackKey{client: inv.Client, object: oid}
 		ch := make(chan struct{})
-		sh.acks[key] = ch
+		sh.acks[key] = ackWait{ch: ch, deadline: inv.LeaseExpire}
 		waiters = append(waiters, waiter{client: inv.Client, ch: ch, bound: inv.LeaseExpire})
 	}
 	// Delayed-mode side effects are emitted under the shard mutex so the
@@ -201,11 +201,11 @@ func (s *Server) WriteTraced(oid core.ObjectID, data []byte, tc wire.TraceContex
 	sh.mu.Lock()
 	for _, w := range waiters {
 		key := ackKey{client: w.client, object: oid}
-		if ch, pending := sh.acks[key]; pending {
+		if aw, pending := sh.acks[key]; pending {
 			// Close so any volume-grant guard waiting on this client's
 			// acknowledgment unblocks (and then observes the client's new
 			// unreachable standing).
-			close(ch)
+			close(aw.ch)
 			delete(sh.acks, key)
 			unacked = append(unacked, w.client)
 		}

@@ -1,0 +1,272 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Divergence kinds. The diff engine classifies exactly four ways a server
+// and a client view of lease state can disagree.
+const (
+	// KindHolderMismatch: the client believes it can read an object (both
+	// its object and volume leases are fresh by its own ε-discounted
+	// clock) but the server holds no matching valid lease record — or
+	// holds a different version or epoch. This is the unsafe direction: a
+	// write at the server would not notify this client. The benign
+	// converse (server still lists a holder the client already dropped)
+	// is not a divergence; the server's record simply expires.
+	KindHolderMismatch = "holder-mismatch"
+	// KindExpirySkew: both sides hold the lease but their expiry
+	// timestamps differ by more than the ε bound. Expiries travel inside
+	// grant messages, so any skew beyond ε means a codec, renewal, or
+	// clock-injection bug.
+	KindExpirySkew = "expiry-skew"
+	// KindUnreachableCaching: the server has declared the client
+	// unreachable for a volume (it provably missed an invalidation) yet
+	// the client still claims usable leases there. Safe only until the
+	// client's leases expire; flagged so the window is visible.
+	KindUnreachableCaching = "unreachable-caching"
+	// KindAckOverdue: a write-invalidation ack is still outstanding past
+	// its lease-expiry deadline. The write path should have declared the
+	// client unreachable and moved on; a stuck entry means a leaked ack
+	// record or a wedged write.
+	KindAckOverdue = "ack-overdue"
+)
+
+// Divergence is one classified disagreement.
+type Divergence struct {
+	Kind   string        `json:"kind"`
+	Client core.ClientID `json:"client"`
+	Volume core.VolumeID `json:"volume,omitempty"`
+	Object core.ObjectID `json:"object,omitempty"`
+	Detail string        `json:"detail"`
+}
+
+// Report is the outcome of one diff: what was compared and every
+// divergence found, sorted by kind, client, then object.
+type Report struct {
+	ServerNode     string        `json:"server_node"`
+	ClientsChecked int           `json:"clients_checked"`
+	LeasesChecked  int           `json:"leases_checked"`
+	Divergences    []Divergence  `json:"divergences,omitempty"`
+	Epsilon        time.Duration `json:"epsilon_ns"`
+}
+
+// Clean reports whether the diff found no divergences.
+func (r Report) Clean() bool { return len(r.Divergences) == 0 }
+
+// Options tunes a diff.
+type Options struct {
+	// Epsilon is the expiry-skew tolerance. The effective bound per
+	// client is max(Epsilon, that client's own configured Skew).
+	Epsilon time.Duration
+}
+
+// serverIndex is the server dump rearranged for O(1) lookups.
+type serverIndex struct {
+	volumes map[core.VolumeID]*volumeIndex
+	objects map[core.ObjectID]*objectIndex
+}
+
+type volumeIndex struct {
+	epoch       core.Epoch
+	leases      map[core.ClientID]core.LeaseSnapshot
+	unreachable map[core.ClientID]bool
+}
+
+type objectIndex struct {
+	volume  core.VolumeID
+	version core.Version
+	holders map[core.ClientID]core.LeaseSnapshot
+}
+
+func indexServer(s *ServerSnapshot) serverIndex {
+	ix := serverIndex{
+		volumes: make(map[core.VolumeID]*volumeIndex),
+		objects: make(map[core.ObjectID]*objectIndex),
+	}
+	if s == nil {
+		return ix
+	}
+	for _, vs := range s.Volumes {
+		vi := &volumeIndex{
+			epoch:       vs.Epoch,
+			leases:      make(map[core.ClientID]core.LeaseSnapshot, len(vs.VolumeLeases)),
+			unreachable: make(map[core.ClientID]bool, len(vs.Unreachable)),
+		}
+		for _, l := range vs.VolumeLeases {
+			vi.leases[l.Client] = l
+		}
+		for _, c := range vs.Unreachable {
+			vi.unreachable[c] = true
+		}
+		ix.volumes[vs.Volume] = vi
+		for _, o := range vs.Objects {
+			oi := &objectIndex{
+				volume:  vs.Volume,
+				version: o.Version,
+				holders: make(map[core.ClientID]core.LeaseSnapshot, len(o.Holders)),
+			}
+			for _, h := range o.Holders {
+				oi.holders[h.Client] = h
+			}
+			ix.objects[o.Object] = oi
+		}
+	}
+	return ix
+}
+
+// Diff compares a server dump against one or more client dumps and
+// classifies every divergence. The comparison is meaningful when the fleet
+// is quiescent between the two scrapes: a grant or write landing between
+// them shows up as a (transient) divergence, which is exactly what a
+// monitoring loop wants to see converge to zero.
+func Diff(server Dump, clients []Dump, opts Options) Report {
+	r := Report{ServerNode: server.Node, Epsilon: opts.Epsilon}
+	ix := indexServer(server.Server)
+
+	if server.Server != nil {
+		for _, vs := range server.Server.Volumes {
+			for _, pa := range vs.PendingAcks {
+				if !pa.Deadline.IsZero() && pa.Deadline.Before(server.Server.TakenAt) {
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindAckOverdue, Client: pa.Client, Volume: vs.Volume, Object: pa.Object,
+						Detail: fmt.Sprintf("invalidation ack outstanding %v past its lease deadline",
+							server.Server.TakenAt.Sub(pa.Deadline)),
+					})
+				}
+			}
+		}
+	}
+
+	for _, cd := range clients {
+		for _, cs := range cd.Clients {
+			r.ClientsChecked++
+			eps := opts.Epsilon
+			if cs.Skew > eps {
+				eps = cs.Skew
+			}
+			fresh := func(expire time.Time) bool { return expire.Add(-cs.Skew).After(cs.TakenAt) }
+
+			// Volume leases the client still counts on.
+			volFresh := make(map[core.VolumeID]bool, len(cs.Volumes))
+			for _, vl := range cs.Volumes {
+				if !fresh(vl.Expire) {
+					continue
+				}
+				volFresh[vl.Volume] = true
+				vi, known := ix.volumes[vl.Volume]
+				if !known {
+					continue // another server's volume; out of scope
+				}
+				r.LeasesChecked++
+				if vi.unreachable[cs.Client] {
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindUnreachableCaching, Client: cs.Client, Volume: vl.Volume,
+						Detail: "server declared the client unreachable but it still trusts its volume lease",
+					})
+					continue
+				}
+				sl, held := vi.leases[cs.Client]
+				switch {
+				case !held:
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindHolderMismatch, Client: cs.Client, Volume: vl.Volume,
+						Detail: fmt.Sprintf("client trusts a volume lease until %s the server does not hold",
+							vl.Expire.Format(time.RFC3339Nano)),
+					})
+				case vl.Epoch != vi.epoch:
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindHolderMismatch, Client: cs.Client, Volume: vl.Volume,
+						Detail: fmt.Sprintf("client at epoch %d, server at epoch %d", vl.Epoch, vi.epoch),
+					})
+				case absDiff(sl.Expire, vl.Expire) > eps:
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindExpirySkew, Client: cs.Client, Volume: vl.Volume,
+						Detail: fmt.Sprintf("volume-lease expiry skew %v exceeds ε=%v (server %s, client %s)",
+							absDiff(sl.Expire, vl.Expire), eps,
+							sl.Expire.Format(time.RFC3339Nano), vl.Expire.Format(time.RFC3339Nano)),
+					})
+				}
+			}
+
+			// Object leases: unsafe only while the volume lease is also
+			// fresh (the protocol's min(t, t_v) read bound).
+			for _, ol := range cs.Objects {
+				if !fresh(ol.Expire) || !volFresh[ol.Volume] {
+					continue
+				}
+				oi, known := ix.objects[ol.Object]
+				if !known {
+					if _, volKnown := ix.volumes[ol.Volume]; !volKnown {
+						continue // another server's object
+					}
+					r.LeasesChecked++
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindHolderMismatch, Client: cs.Client, Volume: ol.Volume, Object: ol.Object,
+						Detail: "client caches an object the server does not know",
+					})
+					continue
+				}
+				r.LeasesChecked++
+				vi := ix.volumes[oi.volume]
+				if vi != nil && vi.unreachable[cs.Client] {
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindUnreachableCaching, Client: cs.Client, Volume: oi.volume, Object: ol.Object,
+						Detail: fmt.Sprintf("server declared the client unreachable but it still claims a readable copy until %s",
+							ol.Expire.Format(time.RFC3339Nano)),
+					})
+					continue
+				}
+				sl, held := oi.holders[cs.Client]
+				switch {
+				case !held:
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindHolderMismatch, Client: cs.Client, Volume: oi.volume, Object: ol.Object,
+						Detail: fmt.Sprintf("client claims a readable copy (v%d) until %s but the server holds no lease record",
+							ol.Version, ol.Expire.Format(time.RFC3339Nano)),
+					})
+				case ol.HasData && ol.Version != oi.version:
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindHolderMismatch, Client: cs.Client, Volume: oi.volume, Object: ol.Object,
+						Detail: fmt.Sprintf("client caches v%d under a live lease, server is at v%d",
+							ol.Version, oi.version),
+					})
+				case absDiff(sl.Expire, ol.Expire) > eps:
+					r.Divergences = append(r.Divergences, Divergence{
+						Kind: KindExpirySkew, Client: cs.Client, Volume: oi.volume, Object: ol.Object,
+						Detail: fmt.Sprintf("object-lease expiry skew %v exceeds ε=%v (server %s, client %s)",
+							absDiff(sl.Expire, ol.Expire), eps,
+							sl.Expire.Format(time.RFC3339Nano), ol.Expire.Format(time.RFC3339Nano)),
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(r.Divergences, func(i, j int) bool {
+		a, b := r.Divergences[i], r.Divergences[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		if a.Volume != b.Volume {
+			return a.Volume < b.Volume
+		}
+		return a.Object < b.Object
+	})
+	return r
+}
+
+func absDiff(a, b time.Time) time.Duration {
+	d := a.Sub(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,38 @@
+package state
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultExpiringWindow is the lookahead the lease_state_expiring gauge
+// uses when the caller passes 0.
+const DefaultExpiringWindow = 30 * time.Second
+
+// Register exports the node's lease-state gauges. Each scrape takes one
+// fresh snapshot and aggregates it, so the series are exactly as current
+// as the tables; window bounds the lease_state_expiring lookahead. No-op
+// when reg or src is nil (introspection off).
+func Register(reg *obs.Registry, node string, src *Source, window time.Duration) {
+	if reg == nil || src == nil {
+		return
+	}
+	if window <= 0 {
+		window = DefaultExpiringWindow
+	}
+	count := func(pick func(Counts) int) func() float64 {
+		return func() float64 { return float64(pick(Count(src.Snapshot(), window))) }
+	}
+	reg.GaugeFunc(fmt.Sprintf("lease_state_object_leases{node=%q}", node),
+		count(func(c Counts) int { return c.ObjectLeases }))
+	reg.GaugeFunc(fmt.Sprintf("lease_state_volume_leases{node=%q}", node),
+		count(func(c Counts) int { return c.VolumeLeases }))
+	reg.GaugeFunc(fmt.Sprintf("lease_state_expiring{node=%q}", node),
+		count(func(c Counts) int { return c.Expiring }))
+	reg.GaugeFunc(fmt.Sprintf("lease_state_unreachable{node=%q}", node),
+		count(func(c Counts) int { return c.Unreachable }))
+	reg.GaugeFunc(fmt.Sprintf("lease_state_unreachable_cached{node=%q}", node),
+		count(func(c Counts) int { return c.UnreachableCached }))
+}
