@@ -12,10 +12,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (clock injection, shard lock order, wire
-# encode/decode symmetry, metric hygiene, goroutine shutdown wiring). See
-# DESIGN.md "Static analysis"; suppress a finding with
-# `//lint:allow <analyzer> — reason`.
+# Project-specific analyzers: the five single-function checks (clock
+# injection, shard lock order, wire encode/decode symmetry, metric hygiene,
+# goroutine shutdown wiring) plus the four interprocedural ones built on the
+# whole-module call graph (hotalloc, lockflow, spawnjoin, snapshotcopy).
+# Stale //lint:allow comments are findings too. See DESIGN.md §8/§13;
+# suppress a finding with `//lint:allow <analyzer> — reason`.
 lint:
 	$(GO) run ./cmd/leasevet ./...
 
@@ -84,8 +86,12 @@ bench-diff:
 # Gate: the batched wire path must stay allocation-free end to end — the
 # pooled append-encoders (BenchmarkWirePath/append) and the full
 # send-to-delivery loop for grant/renew/invalidate (BenchmarkBatchedSend)
-# all report 0 B/op, 0 allocs/op.
+# all report 0 B/op, 0 allocs/op. The same property is pinned statically:
+# `make lint`'s hotalloc analyzer checks every function reachable from the
+# //lint:hotpath roots, including paths the benchmark inputs don't drive
+# (DESIGN.md §13.3).
 bench-wirepath:
+	@echo "bench-wirepath: dynamic half of the zero-alloc gate (static half: hotalloc in 'make lint')"
 	$(GO) test -run '^$$' -bench 'BenchmarkWirePath/append|BenchmarkBatchedSend/' -benchmem -benchtime=0.2s ./internal/wire ./internal/transport | tee /dev/stderr | \
 		awk '/Benchmark(WirePath\/append|BatchedSend)/ && ($$(NF-1) != 0 || $$(NF-3) != 0) { bad = 1 } END { exit bad }'
 

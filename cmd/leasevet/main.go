@@ -5,16 +5,26 @@
 //
 // Usage:
 //
-//	leasevet [-list] [-only analyzer[,analyzer]] [packages]
+//	leasevet [-list] [-only analyzer[,analyzer]] [-json] [-graph]
+//	         [-timing] [-fix-allows] [packages]
 //
 // Packages default to ./... relative to the current directory. Findings
-// print as file:line:col: message (analyzer). A finding is suppressed by
+// print as file:line:col: message (analyzer); -json prints them as a JSON
+// array instead (the CI artifact format). A finding is suppressed by
 // annotating its line (or the line above) with
 //
 //	//lint:allow <analyzer> — reason
+//
+// When the full suite runs (no -only), suppressions that no longer suppress
+// anything are themselves reported under the staleallow name, so the escape
+// hatch cannot rot; -fix-allows lists just those comments, for removal.
+// -graph dumps the interprocedural call graph (one "caller -> callee
+// [kind]" line per edge) for debugging the reachability analyzers, and
+// -timing reports per-analyzer wall time and finding counts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,12 +38,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -json output record (stable field names: CI parses it).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("leasevet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	asJSON := fs.Bool("json", false, "print findings as a JSON array")
+	graph := fs.Bool("graph", false, "dump the interprocedural call graph and exit")
+	timing := fs.Bool("timing", false, "report per-analyzer wall time and finding counts")
+	fixAllows := fs.Bool("fix-allows", false, "list stale //lint:allow comments (suppressing nothing) and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -45,7 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *only != "" {
+	fullSuite := *only == ""
+	if !fullSuite {
 		want := map[string]bool{}
 		for _, n := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(n)] = true
@@ -74,9 +98,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers, true)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	// Stale-allow detection needs the full suite: under -only, an allow for
+	// a deselected analyzer legitimately suppresses nothing this run.
+	res := lint.RunSuite(pkgs, analyzers, lint.SuiteOptions{
+		Scoped:      true,
+		StaleAllows: fullSuite,
+	})
+
+	if *graph {
+		if res.Graph == nil {
+			res.Graph = lint.BuildGraph(pkgs)
+		}
+		res.Graph.Dump(stdout)
+		return 0
+	}
+	if *timing {
+		for _, t := range res.Timings {
+			fmt.Fprintf(stderr, "leasevet: %-12s %8.2fms %4d finding(s)\n",
+				t.Name, float64(t.Duration.Microseconds())/1000, t.Findings)
+		}
+	}
+	if *fixAllows {
+		n := 0
+		for _, d := range res.Diagnostics {
+			if d.Analyzer == "staleallow" {
+				fmt.Fprintln(stdout, d)
+				n++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintln(stdout, "no stale //lint:allow comments")
+		}
+		return 0
+	}
+
+	diags := res.Diagnostics
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "leasevet: %d finding(s)\n", len(diags))

@@ -12,6 +12,14 @@ func TestMetricRegFixture(t *testing.T) { runFixture(t, MetricReg, "metricreg") 
 
 func TestCtxCleanFixture(t *testing.T) { runFixture(t, CtxClean, "ctxclean") }
 
+func TestHotAllocFixture(t *testing.T) { runFixture(t, HotAlloc, "hotalloc") }
+
+func TestLockFlowFixture(t *testing.T) { runFixture(t, LockFlow, "lockflow") }
+
+func TestSpawnJoinFixture(t *testing.T) { runFixture(t, SpawnJoin, "spawnjoin") }
+
+func TestSnapshotCopyFixture(t *testing.T) { runFixture(t, SnapshotCopy, "snapshotcopy") }
+
 // TestClockCheckRenamedImport verifies the analyzer follows a renamed time
 // import and ignores unrelated packages that happen to be called "time".
 func TestClockCheckRenamedImport(t *testing.T) {
@@ -81,6 +89,17 @@ func TestScoped(t *testing.T) {
 		{"ctxclean", "repro/internal/health", true},    // the engine's tick goroutine must stop cleanly
 		{"ctxclean", "repro/internal/cost", true},      // the profiler loop must drain on Close
 		{"ctxclean", "repro/internal/transport", true}, // flusher/delivery goroutines must drain on Close
+		{"hotalloc", "repro/internal/wire", true},      // the //lint:hotpath roots live here
+		{"hotalloc", "repro/internal/transport", true}, // ... and in the batcher
+		{"hotalloc", "repro/internal/server", false},   // grant logic is allowed to allocate
+		{"lockflow", "repro/internal/server", true},
+		{"lockflow", "repro/internal/proxy", true},
+		{"lockflow", "repro/internal/wire", false}, // no shard mutexes in the codec
+		{"spawnjoin", "repro/internal/transport", true},
+		{"spawnjoin", "repro/internal/sim", false}, // simulation steps synchronously
+		{"snapshotcopy", "repro/internal/core", true},
+		{"snapshotcopy", "repro/internal/state", true}, // the snapshot types live here
+		{"snapshotcopy", "repro/internal/wire", false},
 		{"nosuch", "repro/internal/server", false},
 	}
 	for _, c := range cases {

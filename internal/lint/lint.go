@@ -64,14 +64,39 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Single-function analyzers set Run
+// and see one package at a time; interprocedural analyzers set RunGraph and
+// see the whole-module call graph (their findings are scope- and
+// allow-filtered per originating package afterwards). Exactly one of the two
+// must be set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name     string
+	Doc      string
+	Run      func(*Pass)
+	RunGraph func(*GraphPass)
 }
 
-// Analyzers returns the full leasevet suite.
+// GraphPass carries the whole-module call graph through one interprocedural
+// analyzer.
+type GraphPass struct {
+	Analyzer *Analyzer
+	Graph    *Graph
+
+	diags []Diagnostic
+}
+
+// ReportNodef records a finding at pos, resolved against the file set of the
+// package owning n (graph nodes span packages with distinct FileSets).
+func (p *GraphPass) ReportNodef(n *FuncNode, pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      n.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full leasevet suite: the five single-function
+// analyzers from PR 5 plus the four interprocedural ones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		ClockCheck,
@@ -79,6 +104,10 @@ func Analyzers() []*Analyzer {
 		WireSym,
 		MetricReg,
 		CtxClean,
+		HotAlloc,
+		LockFlow,
+		SpawnJoin,
+		SnapshotCopy,
 	}
 }
 
@@ -90,13 +119,23 @@ type Package struct {
 }
 
 // RunAnalyzer applies one analyzer to one package and returns its findings
-// with //lint:allow suppressions already filtered out.
+// with //lint:allow suppressions already filtered out. Interprocedural
+// analyzers see a graph built from just this package — the form fixture
+// tests use; cmd/leasevet runs them via RunSuite over the whole module.
 func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
-	pass := &Pass{Analyzer: a, Fset: pkg.Fset, PkgPath: pkg.Path, Files: pkg.Files}
-	a.Run(pass)
+	var diags []Diagnostic
+	if a.RunGraph != nil {
+		gp := &GraphPass{Analyzer: a, Graph: BuildGraph([]*Package{pkg})}
+		a.RunGraph(gp)
+		diags = gp.diags
+	} else {
+		pass := &Pass{Analyzer: a, Fset: pkg.Fset, PkgPath: pkg.Path, Files: pkg.Files}
+		a.Run(pass)
+		diags = pass.diags
+	}
 	allowed := allowLines(pkg, a.Name)
-	out := pass.diags[:0]
-	for _, d := range pass.diags {
+	out := diags[:0]
+	for _, d := range diags {
 		if !allowed[fileLine{d.Pos.Filename, d.Pos.Line}] {
 			out = append(out, d)
 		}
@@ -108,15 +147,10 @@ func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
 // analyzer only sees the packages named by Scoped — the policy used by
 // cmd/leasevet; tests run analyzers unscoped over fixture packages.
 func Run(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if scoped && !Scoped(a.Name, pkg.Path) {
-				continue
-			}
-			out = append(out, RunAnalyzer(a, pkg)...)
-		}
-	}
+	return RunSuite(pkgs, analyzers, SuiteOptions{Scoped: scoped}).Diagnostics
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -130,7 +164,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 type fileLine struct {
@@ -212,6 +245,10 @@ func exprString(e ast.Expr) string {
 		return exprString(v.Fun) + "()"
 	case *ast.IndexExpr:
 		return exprString(v.X) + "[...]"
+	case *ast.SliceExpr:
+		// A reslice aliases its operand: for the self-append checks,
+		// `buf.B[:0]` is the same storage as `buf.B`.
+		return exprString(v.X)
 	default:
 		return "?"
 	}

@@ -16,8 +16,57 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; pattern resolution looks broken", len(pkgs))
 	}
-	for _, d := range Run(pkgs, Analyzers(), true) {
+	// Full-suite options, exactly as cmd/leasevet runs it: scoped, with
+	// stale-//lint:allow detection — so a rotted allow fails this test too.
+	res := RunSuite(pkgs, Analyzers(), SuiteOptions{Scoped: true, StaleAllows: true})
+	for _, d := range res.Diagnostics {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestHotAllocCoversWirePath proves the acceptance property behind hotalloc:
+// the static closure rooted at the //lint:hotpath annotations contains every
+// function on the BenchmarkWirePath/append call path (AppendEncode and all
+// encoder methods) and the batched transport path it feeds
+// (SendFrameBuf → writeFrame, RecvFrameBuf → ReadFrameBuf). `make
+// bench-wirepath` samples these paths dynamically; this test pins that the
+// analyzer watches all of them, including ones a benchmark input set might
+// not drive.
+func TestHotAllocCoversWirePath(t *testing.T) {
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	g := BuildGraph(pkgs)
+	hot := HotSet(g)
+	if len(hot) == 0 {
+		t.Fatal("hot closure is empty; //lint:hotpath roots lost")
+	}
+	for _, name := range []string{
+		"repro/internal/wire.AppendEncode",
+		"repro/internal/transport.(*tcpConn).SendFrameBuf",
+		"repro/internal/transport.(*tcpConn).writeFrame",
+		"repro/internal/transport.(*tcpConn).flushLoop",
+		"repro/internal/transport.(*tcpConn).RecvFrameBuf",
+		"repro/internal/wire.ReadFrameBuf",
+	} {
+		if !hot[name] {
+			t.Errorf("%s not in the hot closure", name)
+		}
+	}
+	// Every encoder method is on the append path; enumerate them from the
+	// graph so a newly added method can't silently escape coverage.
+	checked := 0
+	for _, n := range g.Nodes {
+		if n.Pkg.Path == "repro/internal/wire" && n.RecvType == "encoder" {
+			checked++
+			if !hot[n.String()] {
+				t.Errorf("encoder method %s not in the hot closure", n)
+			}
+		}
+	}
+	if checked < 8 {
+		t.Errorf("only %d encoder methods found; graph indexing looks broken", checked)
 	}
 }
 

@@ -17,6 +17,18 @@ import "strings"
 //   - metricreg: metric naming and nil-guard hygiene apply repo-wide.
 //   - ctxclean: shutdown wiring applies to every package that spawns
 //     long-lived goroutines in the live stack.
+//   - hotalloc: the //lint:hotpath roots live in the wire codec and the
+//     transport batcher; findings land where the allocation is, so both
+//     layers are in scope.
+//   - lockflow: like lockorder, the shard-mutex discipline is a property of
+//     the two lease-granting roles, but violations can be *reached* through
+//     helpers anywhere; findings are reported at the call site under the
+//     lock, which is in server or proxy.
+//   - spawnjoin: same blast radius as ctxclean — every goroutine-spawning
+//     layer of the live stack.
+//   - snapshotcopy: the snapshot roots are core.Table.Snapshot and the
+//     StateSnapshot methods on server, client, proxy; internal/state holds
+//     the snapshot types they fill.
 func Scoped(analyzer, pkgPath string) bool {
 	if !strings.HasPrefix(pkgPath, "repro/") && pkgPath != "repro" {
 		return false
@@ -48,6 +60,14 @@ func Scoped(analyzer, pkgPath string) bool {
 		return true
 	case "ctxclean":
 		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost", "transport", "state")
+	case "hotalloc":
+		return in("wire", "transport")
+	case "lockflow":
+		return in("server", "proxy")
+	case "spawnjoin":
+		return in("server", "client", "proxy", "obs", "loadtl", "audit", "health", "cost", "transport", "state")
+	case "snapshotcopy":
+		return in("core", "server", "client", "proxy", "state")
 	default:
 		return false
 	}

@@ -1,0 +1,704 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SnapshotCopy makes PR 9's share-no-memory discipline a compile-time fact:
+// a snapshot root — core.Table.Snapshot, any StateSnapshot method, or a
+// //lint:snapshotroot-annotated function — must not return memory that
+// aliases the live structures it was called on. The analysis taints the
+// root's receiver and reference-kinded parameters, propagates taint through
+// assignments, field selections, indexing, range loops, and (via memoized
+// per-function summaries) through calls to other in-module functions, and
+// reports wherever a tainted value reaches a return statement.
+//
+// Taint only flows through "refish" types — types that can alias memory:
+// pointers, slices, maps, chans, funcs, and structs (transitively)
+// containing one. Selecting a basic field out of a tainted struct
+// (`l.granted`, a time.Time, an ObjectID) copies a value and drops the
+// taint; that is exactly the deep-copy idiom the discipline requires, so
+// the analyzer is silent on correct code by construction.
+//
+// Known blind spots, documented in DESIGN.md §13: externally-typed
+// containers are opaque (a slice threaded through atomic.Pointer.Load comes
+// back clean), so the project idiom helpers that hand out live shards
+// (allShards) are hard-listed as live sources; closure captures are not
+// tracked.
+var SnapshotCopy = &Analyzer{
+	Name:     "snapshotcopy",
+	Doc:      "snapshot roots must not return references to live maps/slices (share-no-memory)",
+	RunGraph: runSnapshotCopy,
+}
+
+// snapLiveSources names in-module helpers whose results point into live
+// state even though structural dataflow cannot see it (they read through
+// externally-typed atomics).
+var snapLiveSources = map[string]bool{
+	"allShards":     true,
+	"shardOf":       true,
+	"shardOfObject": true,
+}
+
+// isSnapshotRoot identifies the functions whose return values must share no
+// memory with live state.
+func isSnapshotRoot(n *FuncNode) bool {
+	if n.SnapshotRoot {
+		return true
+	}
+	if n.Decl == nil {
+		return false
+	}
+	name := n.Decl.Name.Name
+	if name == "StateSnapshot" {
+		return true
+	}
+	return name == "Snapshot" && n.RecvType == "Table"
+}
+
+func runSnapshotCopy(p *GraphPass) {
+	sc := &snapCopy{
+		p:          p,
+		g:          p.Graph,
+		summaries:  make(map[*FuncNode]*snapSummary),
+		visiting:   make(map[*FuncNode]bool),
+		refishMemo: make(map[string]bool),
+	}
+	for _, n := range sc.g.Nodes {
+		if !isSnapshotRoot(n) {
+			continue
+		}
+		sum := sc.summarize(n)
+		for idx, leak := range sum.leaks {
+			p.ReportNodef(n, leak.pos,
+				"snapshot root %s returns memory aliasing live %s (%s); deep-copy it — snapshots must share no memory with live state",
+				n.Name, sc.paramName(n, idx), leak.src)
+		}
+	}
+}
+
+type snapCopy struct {
+	p          *GraphPass
+	g          *Graph
+	summaries  map[*FuncNode]*snapSummary
+	visiting   map[*FuncNode]bool
+	refishMemo map[string]bool
+}
+
+// taintMask bit i set = may alias parameter i (0 = receiver for methods).
+type taintMask uint64
+
+type snapLeak struct {
+	pos token.Pos
+	src string
+}
+
+// snapSummary records which parameters a function's return values may
+// alias, with the first leak site for each.
+type snapSummary struct {
+	leaks map[int]*snapLeak
+}
+
+// paramName renders the leaked parameter for diagnostics.
+func (sc *snapCopy) paramName(n *FuncNode, idx int) string {
+	if n.Decl != nil && n.Decl.Recv != nil {
+		if idx == 0 {
+			r := n.Decl.Recv.List[0]
+			if len(r.Names) == 1 {
+				return "receiver " + r.Names[0].Name
+			}
+			return "receiver"
+		}
+		idx--
+	}
+	sig := sc.g.signature(n)
+	if idx < len(sig.params) && sig.params[idx].name != "" {
+		return "parameter " + sig.params[idx].name
+	}
+	return "a parameter"
+}
+
+// refish reports whether a type can alias memory.
+func (sc *snapCopy) refish(t typeRef) bool {
+	switch t.Kind {
+	case refPointer, refSlice, refMap, refChan, refFunc:
+		return true
+	case refArray:
+		return t.Elem != nil && sc.refish(*t.Elem)
+	case refNamed, refStruct:
+		if t.Name == "" {
+			return false
+		}
+		key := t.Pkg + "." + t.Name
+		if v, ok := sc.refishMemo[key]; ok {
+			return v
+		}
+		sc.refishMemo[key] = false // cycle guard: recursive types resolve below
+		res := false
+		u := t
+		if t.Kind == refNamed {
+			u = sc.g.underlying(t)
+		}
+		if u.Kind == refStruct {
+			if pi, st := sc.g.structOf(u); st != nil {
+				td := pi.types[u.Name]
+				for _, field := range st.Fields.List {
+					if sc.refish(sc.g.resolveTypeExpr(pi, td.file, field.Type)) {
+						res = true
+						break
+					}
+				}
+			}
+		} else if u.Kind != refNamed && u.Kind != refStruct {
+			res = sc.refish(u)
+		}
+		sc.refishMemo[key] = res
+		return res
+	default:
+		// Basic, interface, external, unknown: err toward silence. External
+		// types (time.Time) are overwhelmingly value-copied here; treating
+		// them as aliasing would flag the cleanest code in the repo.
+		return false
+	}
+}
+
+// summarize computes (and memoizes) a function's leak summary.
+func (sc *snapCopy) summarize(fn *FuncNode) *snapSummary {
+	if s, ok := sc.summaries[fn]; ok {
+		return s
+	}
+	if sc.visiting[fn] {
+		return &snapSummary{} // cycle: assume clean while resolving
+	}
+	sc.visiting[fn] = true
+	tw := &taintWalker{
+		sc:   sc,
+		g:    sc.g,
+		pi:   sc.g.byPath[fn.Pkg.Path],
+		node: fn,
+		env:  map[string]taintVal{},
+		sum:  &snapSummary{leaks: map[int]*snapLeak{}},
+	}
+	tw.seed()
+	if body := fn.Body(); body != nil {
+		// Two passes pick up loop-carried taint (x built in iteration n,
+		// returned after the loop).
+		tw.stmts(body.List)
+		tw.stmts(body.List)
+	}
+	delete(sc.visiting, fn)
+	sc.summaries[fn] = tw.sum
+	return tw.sum
+}
+
+// --- the taint walker ---
+
+type taintVal struct {
+	t   typeRef
+	m   taintMask
+	src string
+}
+
+type taintWalker struct {
+	sc          *snapCopy
+	g           *Graph
+	pi          *pkgIndex
+	node        *FuncNode
+	env         map[string]taintVal
+	resultNames []string
+	sum         *snapSummary
+}
+
+// seed binds the receiver and parameters, tainting the refish ones.
+func (tw *taintWalker) seed() {
+	idx := 0
+	if tw.node.Decl != nil && tw.node.Decl.Recv != nil && len(tw.node.Decl.Recv.List) == 1 {
+		r := tw.node.Decl.Recv.List[0]
+		t := tw.g.resolveTypeExpr(tw.pi, tw.node.File, r.Type)
+		if len(r.Names) == 1 {
+			v := taintVal{t: t, src: r.Names[0].Name}
+			if tw.sc.refish(t) {
+				v.m = 1 << 0
+			}
+			tw.env[r.Names[0].Name] = v
+		}
+		idx = 1
+	}
+	var ft *ast.FuncType
+	if tw.node.Decl != nil {
+		ft = tw.node.Decl.Type
+	} else {
+		ft = tw.node.Lit.Type
+	}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			t := tw.g.resolveTypeExpr(tw.pi, tw.node.File, field.Type)
+			for _, name := range field.Names {
+				v := taintVal{t: t, src: name.Name}
+				if tw.sc.refish(t) && idx < 64 {
+					v.m = 1 << idx
+				}
+				tw.env[name.Name] = v
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			t := tw.g.resolveTypeExpr(tw.pi, tw.node.File, field.Type)
+			for _, name := range field.Names {
+				tw.env[name.Name] = taintVal{t: t}
+				tw.resultNames = append(tw.resultNames, name.Name)
+			}
+		}
+	}
+}
+
+func (tw *taintWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		tw.stmt(s)
+	}
+}
+
+func (tw *taintWalker) stmt(s ast.Stmt) {
+	switch v := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		tw.assign(v)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				var declared typeRef
+				if vs.Type != nil {
+					declared = tw.g.resolveTypeExpr(tw.pi, tw.node.File, vs.Type)
+				}
+				for i, name := range vs.Names {
+					val := taintVal{t: declared}
+					if i < len(vs.Values) {
+						val = tw.exprTaint(vs.Values[i])
+						if vs.Type != nil {
+							val.t = declared
+						}
+					}
+					if name.Name != "_" {
+						tw.env[name.Name] = val
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if len(v.Results) == 0 {
+			for _, name := range tw.resultNames {
+				if val, ok := tw.env[name]; ok && val.m != 0 {
+					tw.leak(val.m, v.Pos(), val.src)
+				}
+			}
+			return
+		}
+		for _, r := range v.Results {
+			if val := tw.exprTaint(r); val.m != 0 {
+				tw.leak(val.m, v.Pos(), val.src)
+			}
+		}
+	case *ast.BlockStmt:
+		tw.stmts(v.List)
+	case *ast.IfStmt:
+		tw.stmt(v.Init)
+		tw.stmt(v.Body)
+		tw.stmt(v.Else)
+	case *ast.ForStmt:
+		tw.stmt(v.Init)
+		tw.stmt(v.Post)
+		tw.stmt(v.Body)
+	case *ast.RangeStmt:
+		cont := tw.exprTaint(v.X)
+		ct := tw.g.underlying(cont.t.deref())
+		bind := func(e ast.Expr, t typeRef) {
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			val := taintVal{t: t, src: cont.src}
+			if cont.m != 0 && tw.sc.refish(t) {
+				val.m = cont.m
+			}
+			tw.env[id.Name] = val
+		}
+		if v.Key != nil {
+			switch ct.Kind {
+			case refMap:
+				if ct.Key != nil {
+					bind(v.Key, *ct.Key)
+				}
+			case refSlice, refArray:
+				bind(v.Key, typeRef{Kind: refBasic, Name: "int"})
+			}
+		}
+		if v.Value != nil && ct.Elem != nil {
+			bind(v.Value, *ct.Elem)
+		}
+		tw.stmt(v.Body)
+	case *ast.SwitchStmt:
+		tw.stmt(v.Init)
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				tw.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		tw.stmt(v.Init)
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				tw.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range v.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				tw.stmt(cc.Comm)
+				tw.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		tw.stmt(v.Stmt)
+	}
+}
+
+func (tw *taintWalker) leak(m taintMask, pos token.Pos, src string) {
+	for i := 0; i < 64; i++ {
+		if m&(1<<i) == 0 {
+			continue
+		}
+		if _, dup := tw.sum.leaks[i]; dup {
+			continue
+		}
+		if src == "" {
+			src = "aliased value"
+		}
+		tw.sum.leaks[i] = &snapLeak{pos: pos, src: "via " + src}
+	}
+}
+
+func (tw *taintWalker) assign(as *ast.AssignStmt) {
+	var vals []taintVal
+	if len(as.Lhs) == len(as.Rhs) {
+		for _, r := range as.Rhs {
+			vals = append(vals, tw.exprTaint(r))
+		}
+	} else if len(as.Rhs) == 1 {
+		// Multi-value form: taint flows only from resolved call summaries;
+		// comma-ok forms give (value, clean bool).
+		v := tw.exprTaint(as.Rhs[0])
+		vals = append(vals, v)
+		for i := 1; i < len(as.Lhs); i++ {
+			vals = append(vals, taintVal{t: typeRef{Kind: refBasic, Name: "bool"}})
+		}
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(vals) {
+			break
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			tw.env[l.Name] = vals[i]
+		default:
+			// Store into a field/element: taint the local variable the chain
+			// is rooted at (building a result: out.Objects = t.live taints
+			// out). Stores rooted at a parameter mutate live state — not a
+			// snapshot-leak, ignored here.
+			if vals[i].m == 0 {
+				continue
+			}
+			if root := rootIdent(lhs); root != "" {
+				if cur, ok := tw.env[root]; ok {
+					cur.m |= vals[i].m
+					if cur.src == "" || cur.src == root {
+						cur.src = vals[i].src
+					}
+					tw.env[root] = cur
+				}
+			}
+		}
+	}
+}
+
+// rootIdent finds the base identifier of an lvalue chain (out.Objects[i] ->
+// "out").
+func rootIdent(e ast.Expr) string {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// exprTaint computes an expression's type and taint.
+func (tw *taintWalker) exprTaint(e ast.Expr) taintVal {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if val, ok := tw.env[v.Name]; ok {
+			return val
+		}
+		return taintVal{t: unknownRef}
+	case *ast.SelectorExpr:
+		if base, ok := v.X.(*ast.Ident); ok {
+			if _, shadowed := tw.env[base.Name]; !shadowed {
+				if importPathByName(tw.node.File, base.Name) != "" {
+					return taintVal{t: unknownRef} // package-level reference
+				}
+			}
+		}
+		bv := tw.exprTaint(v.X)
+		ft, ok := tw.g.fieldType(bv.t, v.Sel.Name)
+		if !ok {
+			return taintVal{t: unknownRef}
+		}
+		out := taintVal{t: ft, src: bv.src + "." + v.Sel.Name}
+		if bv.m != 0 && tw.sc.refish(ft) {
+			out.m = bv.m
+		}
+		return out
+	case *ast.CallExpr:
+		return tw.callTaint(v)
+	case *ast.UnaryExpr:
+		switch v.Op {
+		case token.AND:
+			inner := tw.exprTaint(v.X)
+			t := inner.t
+			return taintVal{t: typeRef{Kind: refPointer, Elem: &t}, m: inner.m, src: inner.src}
+		case token.ARROW:
+			inner := tw.exprTaint(v.X)
+			ct := tw.g.underlying(inner.t.deref())
+			out := taintVal{t: unknownRef, src: inner.src}
+			if ct.Kind == refChan && ct.Elem != nil {
+				out.t = *ct.Elem
+				if inner.m != 0 && tw.sc.refish(out.t) {
+					out.m = inner.m
+				}
+			}
+			return out
+		}
+		return tw.exprTaint(v.X)
+	case *ast.StarExpr:
+		inner := tw.exprTaint(v.X)
+		out := taintVal{t: unknownRef, m: inner.m, src: inner.src}
+		if inner.t.Kind == refPointer && inner.t.Elem != nil {
+			out.t = *inner.t.Elem
+		}
+		return out
+	case *ast.IndexExpr:
+		base := tw.exprTaint(v.X)
+		ct := tw.g.underlying(base.t.deref())
+		out := taintVal{t: unknownRef, src: base.src}
+		if (ct.Kind == refMap || ct.Kind == refSlice || ct.Kind == refArray) && ct.Elem != nil {
+			out.t = *ct.Elem
+			if base.m != 0 && tw.sc.refish(out.t) {
+				out.m = base.m
+			}
+		}
+		return out
+	case *ast.SliceExpr:
+		return tw.exprTaint(v.X) // a reslice aliases its operand
+	case *ast.CompositeLit:
+		out := taintVal{t: unknownRef}
+		if v.Type != nil {
+			out.t = tw.g.resolveTypeExpr(tw.pi, tw.node.File, v.Type)
+		}
+		for _, el := range v.Elts {
+			val := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			ev := tw.exprTaint(val)
+			if ev.m != 0 {
+				out.m |= ev.m
+				if out.src == "" {
+					out.src = ev.src
+				}
+			}
+		}
+		return out
+	case *ast.TypeAssertExpr:
+		inner := tw.exprTaint(v.X)
+		out := taintVal{t: unknownRef, m: inner.m, src: inner.src}
+		if v.Type != nil {
+			out.t = tw.g.resolveTypeExpr(tw.pi, tw.node.File, v.Type)
+		}
+		return out
+	case *ast.ParenExpr:
+		return tw.exprTaint(v.X)
+	case *ast.BinaryExpr:
+		return taintVal{t: typeRef{Kind: refBasic}}
+	case *ast.FuncLit:
+		return taintVal{t: typeRef{Kind: refFunc}} // closure captures untracked
+	case *ast.BasicLit:
+		return taintVal{t: typeRef{Kind: refBasic}}
+	}
+	return taintVal{t: unknownRef}
+}
+
+// callTaint propagates taint through builtins, conversions, and resolved
+// in-module call summaries.
+func (tw *taintWalker) callTaint(call *ast.CallExpr) taintVal {
+	fun := call.Fun
+	if pe, ok := fun.(*ast.ParenExpr); ok {
+		fun = pe.X
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make", "new", "len", "cap", "min", "max", "delete", "close", "recover":
+			t := unknownRef
+			if id.Name == "make" && len(call.Args) > 0 {
+				t = tw.g.resolveTypeExpr(tw.pi, tw.node.File, call.Args[0])
+			}
+			if id.Name == "len" || id.Name == "cap" {
+				t = typeRef{Kind: refBasic, Name: "int"}
+			}
+			return taintVal{t: t}
+		case "append":
+			out := taintVal{t: unknownRef}
+			for i, a := range call.Args {
+				av := tw.exprTaint(a)
+				if i == 0 {
+					out.t = av.t
+				}
+				if av.m != 0 {
+					out.m |= av.m
+					if out.src == "" {
+						out.src = av.src
+					}
+				}
+			}
+			return out
+		case "copy":
+			// copy(dst, src) aliases element memory when elements are refish.
+			if len(call.Args) == 2 {
+				src := tw.exprTaint(call.Args[1])
+				dt := tw.g.underlying(tw.exprTaint(call.Args[0]).t.deref())
+				if src.m != 0 && dt.Kind == refSlice && dt.Elem != nil && tw.sc.refish(*dt.Elem) {
+					if root := rootIdent(call.Args[0]); root != "" {
+						if cur, ok := tw.env[root]; ok {
+							cur.m |= src.m
+							if cur.src == "" {
+								cur.src = src.src
+							}
+							tw.env[root] = cur
+						}
+					}
+				}
+			}
+			return taintVal{t: typeRef{Kind: refBasic, Name: "int"}}
+		}
+		// Conversion to a known type keeps aliasing for refish targets.
+		if t := tw.g.resolveTypeExpr(tw.pi, tw.node.File, id); t.Kind != refUnknown {
+			inner := taintVal{t: t}
+			if len(call.Args) == 1 {
+				av := tw.exprTaint(call.Args[0])
+				if av.m != 0 && tw.sc.refish(t) {
+					inner.m = av.m
+					inner.src = av.src
+				}
+			}
+			return inner
+		}
+	}
+	// []byte(...) / named-type conversions via non-ident type exprs.
+	switch fun.(type) {
+	case *ast.ArrayType, *ast.MapType, *ast.StarExpr, *ast.ChanType:
+		t := tw.g.resolveTypeExpr(tw.pi, tw.node.File, fun.(ast.Expr))
+		out := taintVal{t: t}
+		if len(call.Args) == 1 {
+			av := tw.exprTaint(call.Args[0])
+			if av.m != 0 && tw.sc.refish(t) {
+				out.m = av.m
+				out.src = av.src
+			}
+		}
+		return out
+	}
+
+	// Resolved in-module callees: apply leak summaries.
+	for _, edge := range tw.g.EdgesAt(call) {
+		if edge.Callee == nil || edge.OverApprox || edge.Kind != EdgeCall {
+			continue
+		}
+		callee := edge.Callee
+		sum := tw.sc.summarize(callee)
+		results := tw.g.signature(callee).results
+		rt := unknownRef
+		if len(results) > 0 {
+			rt = results[0]
+		}
+		out := taintVal{t: rt}
+
+		// Map callee parameter indices to argument taints.
+		argTaint := func(idx int) taintVal {
+			if callee.RecvType != "" {
+				if idx == 0 {
+					if sel, ok := fun.(*ast.SelectorExpr); ok {
+						return tw.exprTaint(sel.X)
+					}
+					return taintVal{t: unknownRef}
+				}
+				idx--
+			}
+			if idx < len(call.Args) {
+				return tw.exprTaint(call.Args[idx])
+			}
+			return taintVal{t: unknownRef}
+		}
+		for idx := range sum.leaks {
+			av := argTaint(idx)
+			if av.m != 0 {
+				out.m |= av.m
+				if out.src == "" {
+					out.src = "result of " + callee.Name + " aliasing " + av.src
+				}
+			}
+		}
+		// Project idiom: live-source helpers return pointers into live
+		// state regardless of what structural dataflow sees.
+		if callee.Decl != nil && snapLiveSources[callee.Decl.Name.Name] {
+			av := argTaint(0)
+			if av.m != 0 {
+				out.m |= av.m
+				out.src = "result of " + callee.Name + " (live-source helper)"
+			}
+		}
+		return out
+	}
+
+	// Unresolved or external call: clean result (documented blind spot),
+	// but still a live source if it matches the idiom list by name.
+	if snapLiveSources[lastSelector(fun)] {
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			av := tw.exprTaint(sel.X)
+			if av.m != 0 {
+				return taintVal{t: unknownRef, m: av.m, src: "result of " + lastSelector(fun) + " (live-source helper)"}
+			}
+		}
+	}
+	return taintVal{t: unknownRef}
+}

@@ -1,0 +1,67 @@
+package lint
+
+// SpawnJoin generalizes ctxclean beyond syntactic reach: every `go`
+// statement whose goroutine can loop forever on blocking channel operations
+// — anywhere in its call closure, not just its own body — must have a
+// reachable shutdown edge: a done/closed/stop channel reference or a
+// <-ctx.Done() receive, somewhere in that same closure. ctxclean resolves
+// only same-package spawns and inspects only the spawned body; spawnjoin
+// follows the call graph, so `go s.run()` where run() calls pump() and pump
+// loops is caught, and conversely a loop whose shutdown select lives in a
+// helper is passed.
+//
+// The two searches are deliberately asymmetric, per the suite's soundness
+// stance: the infinite-loop search follows only precisely-resolved call
+// edges (an over-approximated edge must not pin a loop on the wrong
+// function), while the shutdown search follows every edge including
+// over-approximated dispatch and closure references (any plausible path to
+// a shutdown signal errs toward silence). Goroutines whose target cannot be
+// resolved at all are skipped.
+var SpawnJoin = &Analyzer{
+	Name:     "spawnjoin",
+	Doc:      "every go statement's goroutine must have a reachable shutdown edge (done channel, ctx, or Close-owned lifecycle)",
+	RunGraph: runSpawnJoin,
+}
+
+func runSpawnJoin(p *GraphPass) {
+	g := p.Graph
+	for _, n := range g.Nodes {
+		for _, e := range n.Edges {
+			if e.Kind != EdgeGo || e.Callee == nil {
+				continue
+			}
+			spawned := e.Callee
+
+			// Where can this goroutine wedge? Only trust precise edges.
+			loopClosure := g.Reachable([]*FuncNode{spawned}, ReachOpts{Call: true})
+			var loopNode *FuncNode
+			for cand := range loopClosure {
+				if cand.Body() != nil && hasUnguardedBlockingLoop(cand.Body()) {
+					if loopNode == nil || cand.String() < loopNode.String() {
+						loopNode = cand // deterministic pick for stable messages
+					}
+				}
+			}
+			if loopNode == nil {
+				continue
+			}
+
+			// Can it see a shutdown signal? Any plausible path counts.
+			joinClosure := g.Reachable([]*FuncNode{spawned},
+				ReachOpts{Call: true, Defer: true, Ref: true, OverApprox: true})
+			hasJoin := false
+			for cand := range joinClosure {
+				if cand.Body() != nil && referencesShutdown(cand.Body()) {
+					hasJoin = true
+					break
+				}
+			}
+			if hasJoin {
+				continue
+			}
+			p.ReportNodef(n, e.Pos,
+				"goroutine %s loops forever on blocking channel operations (in %s) with no reachable shutdown edge (done/closed channel, <-ctx.Done(), or Close-owned lifecycle); Close will hang or leak it",
+				spawned.Name, loopNode.Name)
+		}
+	}
+}

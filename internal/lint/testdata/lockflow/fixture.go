@@ -1,0 +1,53 @@
+// Package fixture exercises lockflow: a blocking operation reachable through
+// any call depth while a shard mutex is held is reported at the call site
+// under the lock. Non-blocking variants and allow-annotated sites are not.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *shard) Bad() {
+	s.mu.Lock()
+	s.notify() // want `call to .*notify while s\.mu is held reaches blocking channel send`
+	s.mu.Unlock()
+}
+
+// notify blocks two calls deep: Bad -> notify -> relay -> send.
+func (s *shard) notify() {
+	s.relay()
+}
+
+func (s *shard) relay() {
+	s.ch <- 1
+}
+
+func (s *shard) Allowed() {
+	s.mu.Lock()
+	//lint:allow lockflow — fixture: buffered channel drained by a dedicated goroutine
+	s.notify()
+	s.mu.Unlock()
+}
+
+func (s *shard) Good() {
+	s.mu.Lock()
+	s.tryNotify()
+	s.mu.Unlock()
+}
+
+// tryNotify never blocks: non-blocking send with a default clause.
+func (s *shard) tryNotify() {
+	select {
+	case s.ch <- 1:
+	default:
+	}
+}
+
+// Unlocked calls the blocking helper with no lock held: not lockflow's
+// business (it may still be ctxclean/lockorder's).
+func (s *shard) Unlocked() {
+	s.notify()
+}

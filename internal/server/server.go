@@ -325,9 +325,13 @@ func (s *Server) Recover() {
 	for _, sh := range shards {
 		sh.mu.Lock()
 	}
+	// Drop every connection: detach them from the conn table under the
+	// locks (so no new work routes to them), but do the network teardown —
+	// Close flushes the socket — only after the shard mutexes are released.
 	s.connMu.Lock()
+	dropped := make([]transport.Conn, 0, len(s.conns))
 	for id, cc := range s.conns {
-		cc.conn.Close()
+		dropped = append(dropped, cc.conn)
 		delete(s.conns, id)
 	}
 	s.connMu.Unlock()
@@ -344,7 +348,11 @@ func (s *Server) Recover() {
 		}
 	}
 	for i := len(shards) - 1; i >= 0; i-- {
-		shards[i].mu.Unlock()
+		sh := shards[i]
+		sh.mu.Unlock()
+	}
+	for _, conn := range dropped {
+		conn.Close()
 	}
 	if s.om != nil {
 		s.om.epochBumps.Add(int64(len(shards)))

@@ -220,6 +220,7 @@ func (t *tcpConn) sendErr() error {
 	return nil
 }
 
+//lint:allow hotalloc — sticky-error install; the CAS succeeds at most once per connection lifetime, so the &err box is a cold one-time cost
 func (t *tcpConn) setErr(err error) { t.err.CompareAndSwap(nil, &err) }
 
 // getBuf hands out an encode buffer: in batched mode the flusher recycles
@@ -265,6 +266,8 @@ func (t *tcpConn) SendFrame(body []byte) error {
 // ownership of buf: the connection releases it once the bytes reach the
 // buffered writer (or the send fails). In batched mode this only enqueues
 // and kicks the flusher; in immediate mode it writes and flushes inline.
+//
+//lint:hotpath
 func (t *tcpConn) SendFrameBuf(buf *wire.Buf) error {
 	if t.immediate {
 		t.sendMu.Lock()
@@ -307,6 +310,8 @@ func (t *tcpConn) SendFrameBuf(buf *wire.Buf) error {
 // flushLoop is the connection's batcher. It exits only when Close fires
 // done, after a final drain so queued frames are never lost (flush-then-
 // close).
+//
+//lint:hotpath
 func (t *tcpConn) flushLoop() {
 	defer close(t.flushed)
 	for {
@@ -390,9 +395,11 @@ func (t *tcpConn) writeFrame(body []byte) error {
 	}
 	binary.BigEndian.PutUint32(t.hdr[:], uint32(len(body)))
 	if _, err := t.bw.Write(t.hdr[:]); err != nil {
+		//lint:allow hotalloc — error branch: the socket is already broken, the connection is about to die
 		return fmt.Errorf("transport: write header: %w", err)
 	}
 	if _, err := t.bw.Write(body); err != nil {
+		//lint:allow hotalloc — error branch: the socket is already broken, the connection is about to die
 		return fmt.Errorf("transport: write body: %w", err)
 	}
 	return nil
@@ -415,6 +422,8 @@ func (t *tcpConn) RecvFrame() ([]byte, error) { return wire.ReadFrameBytes(t.br)
 
 // RecvFrameBuf returns the next raw frame body in a pooled buffer (see
 // FrameBufReceiver). The caller owns the Buf and must Release it.
+//
+//lint:hotpath
 func (t *tcpConn) RecvFrameBuf() (*wire.Buf, error) { return wire.ReadFrameBuf(t.br) }
 
 // Close flushes queued frames, then tears the connection down: frames

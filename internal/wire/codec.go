@@ -36,6 +36,8 @@ func Encode(m Message) ([]byte, error) { return AppendEncode(nil, m) }
 // does not allocate, which is what keeps the batched send path at zero
 // allocations per message. Only the appended portion is bounded by
 // MaxFrame; bytes already in dst don't count against the frame limit.
+//
+//lint:hotpath
 func AppendEncode(dst []byte, m Message) ([]byte, error) {
 	e := encoder{buf: dst}
 	start := len(dst)
@@ -112,6 +114,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		e.u8(uint8(v.Code))
 		e.str(v.Msg)
 	default:
+		//lint:allow hotalloc — programmer-error branch (unknown message type); never taken for valid traffic
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
 	if len(e.buf)-start > MaxFrame {
@@ -262,6 +265,7 @@ func ReadFrameBuf(r io.Reader) (*Buf, error) {
 	// cost an allocation per frame.
 	buf := GetBuf()
 	if cap(buf.B) < 4 {
+		//lint:allow hotalloc — pool refill: runs once per fresh Buf, amortized to zero in steady state
 		buf.B = make([]byte, 4, 512)
 	}
 	buf.B = buf.B[:4]
@@ -275,12 +279,14 @@ func ReadFrameBuf(r io.Reader) (*Buf, error) {
 		return nil, ErrFrameTooLarge
 	}
 	if uint32(cap(buf.B)) < n {
+		//lint:allow hotalloc — jumbo-frame growth: the grown buffer is retained by the pool, so this amortizes to zero
 		buf.B = make([]byte, n)
 	} else {
 		buf.B = buf.B[:n]
 	}
 	if _, err := io.ReadFull(r, buf.B); err != nil {
 		buf.Release()
+		//lint:allow hotalloc — error branch: truncated frame means the peer is gone; the read loop exits
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
 	return buf, nil
